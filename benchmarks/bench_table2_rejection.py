@@ -1,0 +1,58 @@
+"""Table II: rejection-sampler sensitivity to node2vec's (p, q).
+
+The paper runs node2vec with the rejection edge sampler on Flickr and
+reports walk time and average acceptance ratio for five (p, q) settings:
+acceptance 1.0 at (1,1) collapsing to 0.25 at (0.25,1), with time
+inflating 2.6x. Same experiment on the Flickr stand-in.
+"""
+
+import pytest
+
+from repro.core.config import WalkConfig
+from repro.core.pipeline import generate_walks
+from repro.graph import datasets
+from repro.walks.models import make_model
+
+from _common import record_table, run_once
+
+CONFIGS = [(1.0, 0.25), (1.0, 4.0), (1.0, 1.0), (4.0, 1.0), (0.25, 1.0)]
+
+
+@pytest.fixture(scope="module")
+def flickr():
+    graph, __ = datasets.load("flickr", scale=0.4, seed=2)
+    return graph
+
+
+def test_table2_rejection_sensitivity(benchmark, flickr):
+    def run():
+        rows = []
+        baseline = None
+        for p, q in CONFIGS:
+            model = make_model("node2vec", flickr, p=p, q=q)
+            config = WalkConfig(num_walks=2, walk_length=40, sampler="rejection")
+            __, engine, timings = generate_walks(flickr, model, config, seed=3)
+            total = timings["init"] + timings["walk"]
+            if (p, q) == (1.0, 1.0):
+                baseline = total
+            rows.append(
+                {
+                    "(p, q)": f"({p:g}, {q:g})",
+                    "time_s": total,
+                    "acceptance_ratio": engine.stats()["acceptance_ratio"],
+                }
+            )
+        for row in rows:
+            row["time_ratio_vs_(1,1)"] = row["time_s"] / baseline
+        return rows
+
+    rows = run_once(benchmark, run)
+    record_table(
+        "table2_rejection_sensitivity",
+        ["(p, q)", "time_s", "acceptance_ratio", "time_ratio_vs_(1,1)"],
+        rows,
+        title="Table II analog: rejection sampler vs node2vec (p, q) on flickr-like",
+    )
+    by_config = {row["(p, q)"]: row for row in rows}
+    assert by_config["(1, 1)"]["acceptance_ratio"] > 0.95
+    assert by_config["(0.25, 1)"]["acceptance_ratio"] < 0.8

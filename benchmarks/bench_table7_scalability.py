@@ -1,0 +1,116 @@
+"""Table VII: node2vec walk generation on the billion-edge stand-ins.
+
+The paper's scalability table: walk-generation time of every sampler on
+Twitter (2.9B edges) and Web-UK (6.6B edges) across five (p, q) settings,
+with '*' marking out-of-memory failures on the 96 GB server. Expected
+pattern:
+
+* alias:       OOM on both networks (per-state tables, Σ deg² entries);
+* rejection / KnightKing: fit Twitter, OOM on Web-UK (O(|E|) weighted
+  proposal tables);
+* memory-aware: fits both but slow;
+* UniNet(M-H): fits both, time stable across (p, q).
+
+Here the networks are the R-MAT stand-ins (weighted — the proposal-table
+memory matters) and the server is a :class:`MemoryBudget` calibrated the
+same way the paper's hardware was: between the rejection footprint of the
+two graphs, above M-H's for both.
+"""
+
+import pytest
+
+from repro.core.config import WalkConfig
+from repro.core.pipeline import generate_walks
+from repro.errors import SimulatedOutOfMemoryError
+from repro.graph import datasets
+from repro.sampling.memory_model import MemoryBudget, rejection_bytes, sampler_memory_estimate
+from repro.walks.models import make_model
+
+from _common import record_table, run_once
+
+PQ_CONFIGS = [(1.0, 0.25), (0.25, 1.0), (1.0, 1.0), (1.0, 4.0), (4.0, 1.0)]
+SAMPLERS = [
+    ("alias", {}),
+    ("rejection", {}),
+    ("knightking", {}),
+    ("memory-aware", {}),
+    ("mh-random", {"sampler": "mh", "initializer": "random"}),
+    ("mh-burnin", {"sampler": "mh", "initializer": "burn-in"}),
+    ("mh-weight", {"sampler": "mh", "initializer": "high-weight"}),
+]
+NUM_WALKS, WALK_LENGTH = 1, 24
+
+
+@pytest.fixture(scope="module")
+def networks():
+    twitter = datasets.load_graph("twitter", scale=0.3, seed=7, weight_mode="uniform")
+    webuk = datasets.load_graph("web-uk", scale=0.3, seed=7, weight_mode="uniform")
+    return {"twitter": twitter, "web-uk": webuk}
+
+
+@pytest.fixture(scope="module")
+def server_budget_bytes(networks):
+    """One fixed 'machine size', calibrated like the paper's 96 GB server:
+    rejection fits the smaller net but not the larger; M-H fits both."""
+    small = rejection_bytes(networks["twitter"])
+    large = rejection_bytes(networks["web-uk"])
+    assert small < large
+    return (small + large) // 2 + small // 4
+
+
+def _run_config(graph, sampler_name, options, p, q, budget_bytes):
+    model = make_model("node2vec", graph, p=p, q=q)
+    table_budget = None
+    if sampler_name == "memory-aware":
+        # the paper grants it UniNet's memory consumption
+        table_budget = sampler_memory_estimate("mh", graph, model)
+    config = WalkConfig(
+        num_walks=NUM_WALKS,
+        walk_length=WALK_LENGTH,
+        sampler=options.get("sampler", sampler_name),
+        initializer=options.get("initializer", "high-weight"),
+        table_budget_bytes=table_budget,
+    )
+    try:
+        __, engine, timings = generate_walks(
+            graph, model, config, seed=8, budget=MemoryBudget(budget_bytes)
+        )
+    except SimulatedOutOfMemoryError:
+        return None
+    del engine
+    return timings["init"] + timings["walk"]
+
+
+@pytest.mark.parametrize("network", ["twitter", "web-uk"])
+def test_table7_scalability(benchmark, networks, server_budget_bytes, network):
+    graph = networks[network]
+
+    def run():
+        rows = []
+        for sampler_name, options in SAMPLERS:
+            row = {"sampler": sampler_name}
+            for p, q in PQ_CONFIGS:
+                seconds = _run_config(graph, sampler_name, options, p, q, server_budget_bytes)
+                row[f"({p:g},{q:g})"] = "*" if seconds is None else round(seconds, 3)
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, run)
+    headers = ["sampler"] + [f"({p:g},{q:g})" for p, q in PQ_CONFIGS]
+    record_table(
+        f"table7_{network}",
+        headers,
+        rows,
+        title=f"Table VII analog: node2vec walk time (s) on {network}-like ('*' = OOM)",
+    )
+    by_sampler = {row["sampler"]: row for row in rows}
+    # the paper's memory pattern
+    assert all(v == "*" for k, v in by_sampler["alias"].items() if k != "sampler")
+    if network == "web-uk":
+        assert all(v == "*" for k, v in by_sampler["rejection"].items() if k != "sampler")
+    else:
+        assert any(v != "*" for k, v in by_sampler["rejection"].items() if k != "sampler")
+    mh_times = [v for k, v in by_sampler["mh-weight"].items() if k != "sampler"]
+    assert all(isinstance(v, float) for v in mh_times)
+    # M-H stability across (p, q): spread well below rejection's
+    assert max(mh_times) / min(mh_times) < 2.5

@@ -1,0 +1,77 @@
+"""Sampler showdown: time, acceptance and memory for every edge sampler.
+
+One workload (node2vec on a LiveJournal-like weighted graph), all six
+samplers — the paper's Tables VI/VII condensed to a single screen,
+including the simulated-memory OOM behaviour.
+
+Run:  python examples/sampler_showdown.py
+"""
+
+from repro import UniNet, datasets
+from repro.core.pipeline import generate_walks
+from repro.errors import SimulatedOutOfMemoryError
+from repro.harness.tables import print_table
+from repro.sampling import MemoryBudget
+from repro.sampling.memory_model import sampler_memory_estimate
+from repro.walks.models import make_model
+
+SAMPLERS = [
+    ("mh (high-weight)", "mh", {"initializer": "high-weight"}),
+    ("mh (random)", "mh", {"initializer": "random"}),
+    ("mh (burn-in)", "mh", {"initializer": "burn-in"}),
+    ("direct", "direct", {}),
+    ("alias", "alias", {}),
+    ("rejection", "rejection", {}),
+    ("knightking", "knightking", {}),
+    ("memory-aware", "memory-aware", {}),
+]
+
+
+def main():
+    graph = datasets.load_graph("livejournal", scale=0.15, seed=2, weight_mode="uniform")
+    p, q = 0.25, 4.0
+    model = make_model("node2vec", graph, p=p, q=q)
+    print(f"workload: node2vec(p={p}, q={q}) on {graph}")
+
+    rows = []
+    for label, sampler, opts in SAMPLERS:
+        net = UniNet(graph, model="node2vec", sampler=sampler, p=p, q=q, seed=2, **opts)
+        config = net.walk_config(2, 40)
+        if sampler == "memory-aware":
+            config.table_budget_bytes = sampler_memory_estimate("mh", graph, model)
+        __, engine, timings = generate_walks(graph, net.model, config, seed=2)
+        stats = engine.stats()
+        rows.append(
+            {
+                "sampler": label,
+                "init_s": timings["init"],
+                "walk_s": timings["walk"],
+                "acceptance": stats["acceptance_ratio"],
+                "memory_bytes": engine.memory_bytes(),
+            }
+        )
+    print_table(
+        ["sampler", "init_s", "walk_s", "acceptance", "memory_bytes"],
+        rows,
+        title="all samplers, one workload (2 walks x 40 nodes per start)",
+    )
+
+    # the memory story: give everyone a budget alias cannot fit
+    alias_need = sampler_memory_estimate("alias", graph, model)
+    budget_bytes = alias_need // 2
+    print(f"\nsimulated server memory: {budget_bytes:,} bytes "
+          f"(alias needs {alias_need:,})")
+    for label, sampler in (("alias", "alias"), ("mh", "mh")):
+        try:
+            net = UniNet(
+                graph, model="node2vec", sampler=sampler, p=p, q=q,
+                budget=MemoryBudget(budget_bytes), seed=2,
+            )
+            net.generate_walks(1, 10)
+            print(f"  {label:7s}: fits and runs")
+        except SimulatedOutOfMemoryError as err:
+            print(f"  {label:7s}: OOM ({err.required_bytes:,} bytes required)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured via ``pyproject.toml``; this file exists so
+``pip install -e . --no-build-isolation --no-use-pep517`` works on
+offline machines that lack the ``wheel`` package (editable PEP 517
+installs need it, ``setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

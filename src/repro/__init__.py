@@ -1,0 +1,70 @@
+"""repro — a reproduction of UniNet (ICDE 2021).
+
+UniNet is a unified, scalable framework for random-walk-based network
+representation learning built around a Metropolis-Hastings (M-H) edge
+sampler that draws from *unnormalised* transition distributions in O(1)
+time and O(1) memory per walker state.
+
+The public surface mirrors the paper's architecture:
+
+* :mod:`repro.graph` — CSR network storage, loaders, synthetic datasets.
+* :mod:`repro.sampling` — the M-H edge sampler plus every baseline the
+  paper compares against (alias, direct, rejection, KnightKing-style
+  outlier folding, memory-aware).
+* :mod:`repro.walks` — the unified random-walk model abstraction
+  (``calculate_weight`` / ``update_state``), five published models, and
+  reference + vectorized walk engines.
+* :mod:`repro.embedding` — numpy word2vec (skip-gram / CBOW with negative
+  sampling).
+* :mod:`repro.evaluation` — node classification (micro/macro F1) and link
+  prediction protocols.
+* :mod:`repro.theory` — the convergence / initialization analysis behind
+  Theorems 1-3 and Figure 1.
+* :mod:`repro.core` — the :class:`~repro.core.uninet.UniNet` facade tying
+  everything together.
+
+Quickstart::
+
+    from repro import UniNet, datasets
+
+    graph, labels = datasets.load("blogcatalog", scale=0.5, seed=7)
+    net = UniNet(graph, model="deepwalk", seed=7)
+    result = net.train(num_walks=10, walk_length=80, dimensions=64)
+    vectors = result.embeddings          # KeyedVectors
+    print(vectors.most_similar(0, topn=5))
+"""
+
+from importlib import import_module
+
+__version__ = "1.0.0"
+
+#: Lazily resolved public attributes -> (module, attribute) pairs.
+_LAZY_ATTRS = {
+    "UniNet": ("repro.core.uninet", "UniNet"),
+    "WalkConfig": ("repro.core.config", "WalkConfig"),
+    "TrainConfig": ("repro.core.config", "TrainConfig"),
+    "CSRGraph": ("repro.graph.csr", "CSRGraph"),
+    "GraphBuilder": ("repro.graph.builder", "GraphBuilder"),
+    "NodeLabels": ("repro.graph.labels", "NodeLabels"),
+    "datasets": ("repro.graph", "datasets"),
+}
+
+__all__ = [*_LAZY_ATTRS, "__version__"]
+
+
+def __getattr__(name: str):
+    """Resolve public attributes on first use (PEP 562 lazy imports)."""
+    try:
+        module_name, attr = _LAZY_ATTRS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    if attr == "datasets":
+        value = import_module("repro.graph.datasets")
+    else:
+        value = getattr(import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

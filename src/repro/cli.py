@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Covers the common end-to-end flows without writing code:
+
+* ``stats``  — print Table-V-style statistics for a dataset or edge list;
+* ``walk``   — generate a walk corpus and save it (.npz);
+* ``train``  — full pipeline (walks + word2vec), saving KeyedVectors;
+* ``classify`` — node-classification sweep on a labeled synthetic dataset.
+
+Examples::
+
+    python -m repro stats --dataset blogcatalog --scale 0.5
+    python -m repro train --dataset youtube --model node2vec --p 0.25 --q 4 \
+        --output vectors.npz
+    python -m repro classify --dataset blogcatalog --model deepwalk
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graph import datasets
+from repro.graph.io import load_edge_list
+from repro.graph.stats import graph_statistics
+from repro.harness.tables import format_table
+
+
+def _add_graph_args(parser):
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", help=f"synthetic dataset: {sorted(datasets.DATASETS)}")
+    source.add_argument("--edge-list", help="path to a 'src dst [weight]' file")
+    parser.add_argument("--scale", type=float, default=0.5, help="synthetic dataset scale")
+    parser.add_argument("--weighted", action="store_true", help="edge list has weights")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_walk_args(parser):
+    parser.add_argument("--model", default="deepwalk", help="random walk model name")
+    parser.add_argument("--sampler", default="mh", help="edge sampler")
+    parser.add_argument("--initializer", default="high-weight", help="M-H init strategy")
+    parser.add_argument("--num-walks", type=int, default=10)
+    parser.add_argument("--walk-length", type=int, default=80)
+    parser.add_argument("--p", type=float, default=1.0)
+    parser.add_argument("--q", type=float, default=1.0)
+    parser.add_argument("--metapath", default="APA")
+
+
+def _load_graph(args):
+    if args.dataset:
+        loaded = datasets.load(args.dataset, scale=args.scale, seed=args.seed)
+        if isinstance(loaded, tuple):
+            return loaded
+        return loaded, None
+    return load_edge_list(args.edge_list, weighted=args.weighted), None
+
+
+def _model_params(args):
+    if args.model == "metapath2vec":
+        return {"metapath": args.metapath}
+    if args.model in ("node2vec", "edge2vec", "fairwalk"):
+        return {"p": args.p, "q": args.q}
+    return {}
+
+
+def _cmd_stats(args) -> int:
+    graph, labels = _load_graph(args)
+    stats = graph_statistics(graph)
+    rows = [{"statistic": key, "value": value} for key, value in stats.items()]
+    if labels is not None:
+        rows.append({"statistic": "num_labeled", "value": labels.num_labeled})
+        rows.append({"statistic": "num_classes", "value": labels.num_classes})
+    print(format_table(["statistic", "value"], rows, title="graph statistics"))
+    return 0
+
+
+def _cmd_walk(args) -> int:
+    from repro import UniNet
+
+    graph, __ = _load_graph(args)
+    net = UniNet(
+        graph, model=args.model, sampler=args.sampler, initializer=args.initializer,
+        seed=args.seed, **_model_params(args),
+    )
+    corpus = net.generate_walks(args.num_walks, args.walk_length)
+    corpus.save_npz(args.output)
+    print(f"wrote {corpus} to {args.output}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro import UniNet
+
+    graph, __ = _load_graph(args)
+    net = UniNet(
+        graph, model=args.model, sampler=args.sampler, initializer=args.initializer,
+        seed=args.seed, **_model_params(args),
+    )
+    result = net.train(
+        num_walks=args.num_walks,
+        walk_length=args.walk_length,
+        dimensions=args.dimensions,
+        epochs=args.epochs,
+        negative_sharing=True,
+    )
+    result.embeddings.save_npz(args.output)
+    print(
+        f"trained {len(result.embeddings)} x {args.dimensions} embeddings "
+        f"(init={result.ti:.2f}s walk={result.tw:.2f}s learn={result.tl:.2f}s); "
+        f"wrote {args.output}"
+    )
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from repro import UniNet
+    from repro.evaluation import classification_sweep
+
+    graph, labels = _load_graph(args)
+    if labels is None:
+        print("classify needs a labeled dataset", file=sys.stderr)
+        return 2
+    net = UniNet(
+        graph, model=args.model, sampler=args.sampler, initializer=args.initializer,
+        seed=args.seed, **_model_params(args),
+    )
+    result = net.train(
+        num_walks=args.num_walks,
+        walk_length=args.walk_length,
+        dimensions=args.dimensions,
+        epochs=args.epochs,
+        negative_sharing=True,
+    )
+    sweep = classification_sweep(
+        result.embeddings, labels,
+        train_fractions=tuple(args.fractions), trials=args.trials, seed=args.seed,
+    )
+    print(
+        format_table(
+            ["train_fraction", "micro_f1_mean", "macro_f1_mean"],
+            sweep,
+            title=f"{args.model} on {args.dataset}: classification sweep",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="print graph statistics")
+    _add_graph_args(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    walk = sub.add_parser("walk", help="generate and save a walk corpus")
+    _add_graph_args(walk)
+    _add_walk_args(walk)
+    walk.add_argument("--output", default="walks.npz")
+    walk.set_defaults(func=_cmd_walk)
+
+    train = sub.add_parser("train", help="train embeddings end to end")
+    _add_graph_args(train)
+    _add_walk_args(train)
+    train.add_argument("--dimensions", type=int, default=128)
+    train.add_argument("--epochs", type=int, default=1)
+    train.add_argument("--output", default="vectors.npz")
+    train.set_defaults(func=_cmd_train)
+
+    classify = sub.add_parser("classify", help="train + node classification sweep")
+    _add_graph_args(classify)
+    _add_walk_args(classify)
+    classify.add_argument("--dimensions", type=int, default=64)
+    classify.add_argument("--epochs", type=int, default=2)
+    classify.add_argument("--fractions", type=float, nargs="+", default=[0.1, 0.5, 0.9])
+    classify.add_argument("--trials", type=int, default=3)
+    classify.set_defaults(func=_cmd_classify)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

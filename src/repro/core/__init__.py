@@ -1,0 +1,12 @@
+"""The UniNet framework facade.
+
+:class:`~repro.core.uninet.UniNet` ties the packages together into the
+paper's two-step pipeline (walk generation -> word2vec) with the phase
+timing decomposition (Ti / Tw / Tl / Tt) that Table VI reports.
+"""
+
+from repro.core.config import TrainConfig, WalkConfig
+from repro.core.pipeline import TrainResult, train_pipeline
+from repro.core.uninet import UniNet
+
+__all__ = ["UniNet", "WalkConfig", "TrainConfig", "train_pipeline", "TrainResult"]

@@ -1,0 +1,64 @@
+"""Configuration records for the UniNet pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WalkError
+
+
+@dataclass
+class WalkConfig:
+    """Random-walk generation settings (Algorithm 2's inputs).
+
+    ``walk_length`` counts nodes per sequence — the paper's default
+    workload is 10 walks of length 80 per node.
+    """
+
+    num_walks: int = 10
+    walk_length: int = 80
+    sampler: str = "mh"
+    initializer: str = "high-weight"
+    init_sample_cap: int | None = 16
+    burn_in_iterations: int = 100
+    table_budget_bytes: int | None = None
+    max_reject_rounds: int = 10_000
+
+    def __post_init__(self):
+        if self.num_walks < 1:
+            raise WalkError("num_walks must be >= 1")
+        if self.walk_length < 1:
+            raise WalkError("walk_length must be >= 1")
+
+
+@dataclass
+class TrainConfig:
+    """Embedding-learning settings forwarded to the word2vec trainer."""
+
+    dimensions: int = 128
+    window: int = 5
+    negative: int = 5
+    epochs: int = 1
+    alpha: float = 0.025
+    min_alpha: float = 1e-4
+    mode: str = "skipgram"
+    subsample: float = 0.0
+    min_count: int = 1
+    negative_sharing: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def word2vec_kwargs(self) -> dict:
+        """Keyword arguments for :class:`repro.embedding.Word2Vec`."""
+        kwargs = {
+            "window": self.window,
+            "negative": self.negative,
+            "epochs": self.epochs,
+            "alpha": self.alpha,
+            "min_alpha": self.min_alpha,
+            "mode": self.mode,
+            "subsample": self.subsample,
+            "min_count": self.min_count,
+            "negative_sharing": self.negative_sharing,
+        }
+        kwargs.update(self.extra)
+        return kwargs

@@ -1,0 +1,129 @@
+"""The two-step UniNet pipeline with Table VI's phase decomposition.
+
+    Walks      = RandomWalkGeneration(G, N, L)      -> Tw (+ Ti)
+    Embeddings = Word2Vec(Walks)                    -> Tl
+
+``Ti`` (initialisation) covers sampler preprocessing: engine/table/
+proposal construction *plus* the time the M-H sampler spends running its
+lazy per-state initialization strategy during the walk (the paper
+accounts burn-in/high-weight/random costs there, which is what makes the
+Fig. 6 initialization bars comparable). ``Tw`` is the remaining walk
+time; ``Tt = Ti + Tw + Tl``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.embedding.word2vec import Word2Vec
+from repro.walks.corpus import WalkCorpus
+from repro.walks.vectorized import VectorizedWalkEngine
+
+
+@dataclass
+class TrainResult:
+    """Everything a pipeline run produces."""
+
+    embeddings: object | None
+    corpus: WalkCorpus | None
+    timings: dict = field(default_factory=dict)
+    sampler_stats: dict = field(default_factory=dict)
+    sampler_memory_bytes: int = 0
+
+    @property
+    def ti(self) -> float:
+        """Initialisation seconds (sampler construction + lazy M-H init)."""
+        return self.timings.get("init", 0.0)
+
+    @property
+    def tw(self) -> float:
+        """Walk-generation seconds (excluding initialisation)."""
+        return self.timings.get("walk", 0.0)
+
+    @property
+    def tl(self) -> float:
+        """Embedding-learning seconds."""
+        return self.timings.get("learn", 0.0)
+
+    @property
+    def tt(self) -> float:
+        """Total seconds."""
+        return self.timings.get("total", self.ti + self.tw + self.tl)
+
+
+def generate_walks(graph, model, walk_config, *, seed=None, budget=None, start_nodes=None):
+    """Walk-generation step with Ti/Tw accounting.
+
+    Returns ``(corpus, engine, timings)`` where timings has ``init`` and
+    ``walk`` entries.
+    """
+    start = time.perf_counter()
+    engine = VectorizedWalkEngine(
+        graph,
+        model,
+        sampler=walk_config.sampler,
+        initializer=walk_config.initializer,
+        init_sample_cap=walk_config.init_sample_cap,
+        burn_in_iterations=walk_config.burn_in_iterations,
+        table_budget_bytes=walk_config.table_budget_bytes,
+        max_reject_rounds=walk_config.max_reject_rounds,
+        budget=budget,
+        seed=seed,
+    )
+    corpus = engine.generate(
+        num_walks=walk_config.num_walks,
+        walk_length=walk_config.walk_length,
+        start_nodes=start_nodes,
+    )
+    elapsed = time.perf_counter() - start
+    stats = engine.stats()
+    ti = stats["setup_seconds"] + stats["init_seconds"]
+    timings = {"init": ti, "walk": max(elapsed - ti, 0.0)}
+    return corpus, engine, timings
+
+
+def train_pipeline(
+    graph,
+    model,
+    walk_config=None,
+    train_config=None,
+    *,
+    seed=None,
+    budget=None,
+    start_nodes=None,
+    skip_learning: bool = False,
+) -> TrainResult:
+    """Run the full pipeline for one (graph, model, sampler) configuration.
+
+    ``skip_learning=True`` stops after walk generation (the setting of
+    the paper's Table VII / Fig. 6-7, which time only the walk phase).
+    """
+    from repro.core.config import TrainConfig, WalkConfig
+
+    walk_config = walk_config or WalkConfig()
+    train_config = train_config or TrainConfig()
+
+    corpus, engine, timings = generate_walks(
+        graph, model, walk_config, seed=seed, budget=budget, start_nodes=start_nodes
+    )
+
+    embeddings = None
+    learn_seconds = 0.0
+    if not skip_learning:
+        t0 = time.perf_counter()
+        trainer = Word2Vec(
+            train_config.dimensions, seed=seed, **train_config.word2vec_kwargs()
+        )
+        embeddings = trainer.fit(corpus, num_nodes=graph.num_nodes)
+        learn_seconds = time.perf_counter() - t0
+
+    timings["learn"] = learn_seconds
+    timings["total"] = timings["init"] + timings["walk"] + learn_seconds
+    return TrainResult(
+        embeddings=embeddings,
+        corpus=corpus,
+        timings=timings,
+        sampler_stats=engine.stats(),
+        sampler_memory_bytes=engine.memory_bytes(),
+    )

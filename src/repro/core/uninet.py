@@ -1,0 +1,131 @@
+"""UniNet — the user-facing facade of the framework.
+
+One object binds a network to a random-walk model and exposes the paper's
+pipeline: generate walks with a pluggable edge sampler (M-H by default)
+and learn embeddings with word2vec. Example::
+
+    from repro import UniNet, datasets
+
+    graph, labels = datasets.load("blogcatalog", scale=0.5, seed=7)
+    net = UniNet(graph, model="node2vec", p=0.25, q=4.0, seed=7)
+    result = net.train(num_walks=10, walk_length=80, dimensions=64)
+    result.embeddings.most_similar(0)
+
+Defining a *new* random-walk model needs only the two callbacks of the
+unified abstraction — subclass
+:class:`~repro.walks.models.base.RandomWalkModel`, implement
+``calculate_weight`` (and optionally ``update_state``), and pass the
+instance as ``model``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import TrainConfig, WalkConfig
+from repro.core.pipeline import TrainResult, generate_walks, train_pipeline
+from repro.utils.rng import as_rng
+from repro.walks.models import make_model
+
+
+class UniNet:
+    """The unified NRL framework bound to one network.
+
+    Parameters
+    ----------
+    graph:
+        a :class:`~repro.graph.csr.CSRGraph`.
+    model:
+        registry name (``"deepwalk"``, ``"node2vec"``, ``"metapath2vec"``,
+        ``"edge2vec"``, ``"fairwalk"``), or a bound
+        :class:`~repro.walks.models.base.RandomWalkModel` instance.
+    sampler:
+        edge sampler: ``"mh"`` (default), ``"direct"``, ``"alias"``,
+        ``"rejection"``, ``"knightking"``, ``"memory-aware"``.
+    initializer:
+        M-H chain initialization strategy (``"high-weight"`` default).
+    budget:
+        optional :class:`~repro.sampling.memory_model.MemoryBudget` for
+        simulated-OOM experiments.
+    model_params:
+        forwarded to the model constructor (``p``, ``q``, ``metapath``,
+        ``transition_matrix``...).
+    """
+
+    def __init__(
+        self,
+        graph,
+        model="deepwalk",
+        *,
+        sampler: str = "mh",
+        initializer: str = "high-weight",
+        table_budget_bytes: int | None = None,
+        budget=None,
+        seed=None,
+        **model_params,
+    ):
+        self.graph = graph
+        self.model = make_model(model, graph, **model_params)
+        self.sampler = sampler
+        self.initializer = initializer
+        self.table_budget_bytes = table_budget_bytes
+        self.budget = budget
+        self.seed = seed
+        self._rng = as_rng(seed)
+
+    # ------------------------------------------------------------------
+    def walk_config(self, num_walks: int = 10, walk_length: int = 80, **overrides) -> WalkConfig:
+        """Build a :class:`WalkConfig` bound to this instance's sampler."""
+        return WalkConfig(
+            num_walks=num_walks,
+            walk_length=walk_length,
+            sampler=overrides.pop("sampler", self.sampler),
+            initializer=overrides.pop("initializer", self.initializer),
+            table_budget_bytes=overrides.pop("table_budget_bytes", self.table_budget_bytes),
+            **overrides,
+        )
+
+    def generate_walks(self, num_walks: int = 10, walk_length: int = 80, start_nodes=None, **overrides):
+        """Run only the walk-generation step; returns a WalkCorpus."""
+        config = self.walk_config(num_walks, walk_length, **overrides)
+        corpus, __, ___ = generate_walks(
+            self.graph,
+            self.model,
+            config,
+            seed=int(self._rng.integers(2**31)),
+            budget=self.budget,
+            start_nodes=start_nodes,
+        )
+        return corpus
+
+    def train(
+        self,
+        num_walks: int = 10,
+        walk_length: int = 80,
+        dimensions: int = 128,
+        *,
+        start_nodes=None,
+        walk_overrides: dict | None = None,
+        **train_params,
+    ) -> TrainResult:
+        """Full pipeline: walks + word2vec. Returns a TrainResult.
+
+        ``train_params`` go to :class:`TrainConfig` (``window``,
+        ``epochs``, ``mode``, ...); ``walk_overrides`` to
+        :class:`WalkConfig`.
+        """
+        walk_cfg = self.walk_config(num_walks, walk_length, **(walk_overrides or {}))
+        train_cfg = TrainConfig(dimensions=dimensions, **train_params)
+        return train_pipeline(
+            self.graph,
+            self.model,
+            walk_cfg,
+            train_cfg,
+            seed=int(self._rng.integers(2**31)),
+            budget=self.budget,
+            start_nodes=start_nodes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UniNet(model={self.model.name!r}, sampler={self.sampler!r}, "
+            f"graph={self.graph!r})"
+        )

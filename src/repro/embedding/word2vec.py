@@ -1,0 +1,385 @@
+"""Mini-batched word2vec (SGNS and CBOW) on numpy.
+
+This is the learning phase of the paper's pipeline: the walk corpus is a
+set of sentences over node ids, and embeddings come from skip-gram (or
+CBOW) with negative sampling trained by SGD with a linearly decaying
+learning rate — the standard Mikolov recipe, vectorized:
+
+* **Dynamic windows** use the reduced-window identity: the pair (center,
+  context-at-distance-d) is included with probability
+  ``(window - d + 1) / window``, the marginal of drawing a window size
+  uniformly in [1, window]. Pair generation is then a handful of shifted
+  comparisons over the padded walk matrix.
+* **Scatter updates** (many pairs touch the same row) are applied with a
+  sort + ``reduceat`` segment sum rather than ``np.add.at``, which makes
+  batched SGD practical in pure numpy.
+* **Negatives** come from the unigram^0.75 distribution via inverse CDF.
+
+The trainer follows word2vec conventions: input vectors initialised
+uniformly in ±0.5/dim, output vectors at zero, sigmoid arguments clipped
+to ±8, and the *input* matrix is returned as the embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import TrainingError
+from repro.embedding.keyed_vectors import KeyedVectors
+from repro.embedding.negative import NegativeSampler
+from repro.embedding.vocab import Vocabulary
+from repro.utils.rng import as_rng
+
+_MODES = ("skipgram", "cbow")
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -8.0, 8.0)))
+
+
+def scatter_add_rows(matrix: np.ndarray, rows: np.ndarray, updates: np.ndarray, *, clip: float | None = None) -> None:
+    """``matrix[rows] += updates`` with duplicate rows accumulated.
+
+    Sorts the batch by row id and applies one segment-summed add — an
+    order of magnitude faster than ``np.add.at`` for the wide rows used
+    here.
+
+    Summing preserves sequential SGD's per-pair learning-rate semantics,
+    but a mini-batch evaluates every pair at *stale* vectors: when many
+    pairs hit the same row (small vocabularies), the summed step
+    overshoots where sequential updates would have self-corrected.
+    ``clip`` bounds each row's accumulated step norm, which is inactive
+    for large vocabularies and prevents divergence for tiny ones.
+    """
+    if rows.size == 0:
+        return
+    # Deduplicate through a sparse one-hot product: summed[u] = Σ updates
+    # of the pairs hitting unique row u. scipy's CSR matmul does this in
+    # optimised C, ~30x faster than sort+reduceat or np.add.at here.
+    unique, inverse = np.unique(rows, return_inverse=True)
+    onehot = sparse.csr_matrix(
+        (
+            np.ones(rows.size, dtype=updates.dtype),
+            inverse,
+            np.arange(rows.size + 1),
+        ),
+        shape=(rows.size, unique.size),
+    )
+    summed = onehot.T @ updates
+    if clip is not None:
+        norms = np.linalg.norm(summed, axis=1, keepdims=True)
+        summed *= np.minimum(1.0, clip / np.maximum(norms, 1e-12))
+    matrix[unique] += summed.astype(matrix.dtype, copy=False)
+
+
+class Word2Vec:
+    """word2vec trainer for walk corpora.
+
+    Parameters
+    ----------
+    dimensions:
+        embedding size (paper experiments use 128).
+    window:
+        maximum context distance; effective windows are dynamic.
+    negative:
+        negative samples per positive pair.
+    epochs:
+        passes over the generated pairs.
+    alpha / min_alpha:
+        initial and final SGD learning rate (linear decay per batch).
+    mode:
+        ``"skipgram"`` (default) or ``"cbow"``.
+    subsample:
+        frequent-token subsampling threshold t (0 disables).
+    min_count:
+        minimum corpus frequency for a token to be embedded.
+    batch_pairs:
+        mini-batch size in training pairs.
+    max_row_step:
+        per-row step-norm clip applied to each batch update (see
+        :func:`scatter_add_rows`).
+    negative_sharing:
+        draw one negative pool per batch instead of per pair — same
+        expected gradient, several times faster on large corpora.
+    """
+
+    def __init__(
+        self,
+        dimensions: int = 128,
+        *,
+        window: int = 5,
+        negative: int = 5,
+        epochs: int = 1,
+        alpha: float = 0.025,
+        min_alpha: float = 1e-4,
+        mode: str = "skipgram",
+        subsample: float = 0.0,
+        min_count: int = 1,
+        batch_pairs: int = 8192,
+        max_row_step: float = 0.25,
+        negative_sharing: bool = False,
+        seed=None,
+    ):
+        if dimensions < 1:
+            raise TrainingError("dimensions must be >= 1")
+        if window < 1:
+            raise TrainingError("window must be >= 1")
+        if negative < 1:
+            raise TrainingError("negative must be >= 1")
+        if epochs < 1:
+            raise TrainingError("epochs must be >= 1")
+        if not 0 < alpha:
+            raise TrainingError("alpha must be positive")
+        if mode not in _MODES:
+            raise TrainingError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.dimensions = dimensions
+        self.window = window
+        self.negative = negative
+        self.epochs = epochs
+        self.alpha = alpha
+        self.min_alpha = min(min_alpha, alpha)
+        self.mode = mode
+        self.subsample = subsample
+        self.min_count = min_count
+        self.batch_pairs = batch_pairs
+        self.max_row_step = max_row_step
+        self.negative_sharing = negative_sharing
+        self.seed = seed
+        #: per-batch mean loss recorded by the last :meth:`fit` call
+        self.training_loss_: list[float] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, corpus, num_nodes: int | None = None) -> KeyedVectors:
+        """Train on a :class:`~repro.walks.corpus.WalkCorpus`.
+
+        Returns :class:`KeyedVectors` keyed by the original node ids.
+        """
+        rng = as_rng(self.seed)
+        vocab = Vocabulary.from_corpus(corpus, num_nodes, min_count=self.min_count)
+        encoded = vocab.encode(corpus.walks)
+        if self.subsample > 0:
+            keep = vocab.subsample_keep_probs(self.subsample)
+            drop = rng.random(encoded.shape) >= keep[np.maximum(encoded, 0)]
+            encoded = np.where(drop & (encoded >= 0), -1, encoded)
+
+        need_positions = self.mode == "cbow"
+        pairs = self._generate_pairs(encoded, rng, with_positions=need_positions)
+        if pairs[0].size == 0:
+            raise TrainingError("corpus produced no training pairs (walks too short?)")
+
+        v, d = vocab.size, self.dimensions
+        w_in = ((rng.random((v, d)) - 0.5) / d).astype(np.float32)
+        w_out = np.zeros((v, d), dtype=np.float32)
+        sampler = NegativeSampler(vocab.counts)
+        self.training_loss_ = []
+
+        if self.mode == "skipgram":
+            self._train_sgns(w_in, w_out, pairs[0], pairs[1], sampler, rng)
+        else:
+            self._train_cbow(w_in, w_out, pairs[0], pairs[1], pairs[2], sampler, rng)
+        return KeyedVectors(vocab.tokens, w_in)
+
+    # ------------------------------------------------------------------
+    def _generate_pairs(
+        self, encoded: np.ndarray, rng, *, with_positions: bool = False
+    ):
+        """(center, context) index pairs with reduced-window inclusion.
+
+        With ``with_positions=True`` a third array identifies the corpus
+        position (flattened matrix index) of each pair's *center*
+        occurrence — CBOW groups contexts by it.
+        """
+        rows, length = encoded.shape
+        flat_pos = np.arange(rows * length, dtype=np.int64).reshape(rows, length)
+        centers = []
+        contexts = []
+        positions = []
+        for dist in range(1, self.window + 1):
+            left = encoded[:, :-dist].ravel()
+            right = encoded[:, dist:].ravel()
+            valid = (left >= 0) & (right >= 0)
+            p_keep = (self.window - dist + 1) / self.window
+            if p_keep < 1.0:
+                valid &= rng.random(valid.size) < p_keep
+            if not valid.any():
+                continue
+            a = left[valid].astype(np.int32)
+            b = right[valid].astype(np.int32)
+            centers.append(a)
+            contexts.append(b)
+            centers.append(b)
+            contexts.append(a)
+            if with_positions:
+                positions.append(flat_pos[:, :-dist].ravel()[valid])
+                positions.append(flat_pos[:, dist:].ravel()[valid])
+        if not centers:
+            empty32 = np.empty(0, dtype=np.int32)
+            if with_positions:
+                return empty32, empty32.copy(), np.empty(0, dtype=np.int64)
+            return empty32, empty32.copy()
+        if with_positions:
+            return (
+                np.concatenate(centers),
+                np.concatenate(contexts),
+                np.concatenate(positions),
+            )
+        return np.concatenate(centers), np.concatenate(contexts)
+
+    def _lr_schedule(self, num_batches: int) -> np.ndarray:
+        if num_batches <= 1:
+            return np.array([self.alpha])
+        return np.linspace(self.alpha, self.min_alpha, num_batches)
+
+    # ------------------------------------------------------------------
+    def _train_sgns(self, w_in, w_out, centers, contexts, sampler, rng) -> None:
+        n_pairs = centers.size
+        batches_per_epoch = max((n_pairs + self.batch_pairs - 1) // self.batch_pairs, 1)
+        lrs = self._lr_schedule(self.epochs * batches_per_epoch)
+        batch_no = 0
+        for __ in range(self.epochs):
+            perm = rng.permutation(n_pairs)
+            for s in range(0, n_pairs, self.batch_pairs):
+                sel = perm[s : s + self.batch_pairs]
+                loss = self._sgns_batch(
+                    w_in, w_out, centers[sel], contexts[sel], sampler, rng, lrs[batch_no]
+                )
+                self.training_loss_.append(loss)
+                batch_no += 1
+
+    def _sgns_batch(self, w_in, w_out, c, o, sampler, rng, lr) -> float:
+        if self.negative_sharing:
+            return self._sgns_batch_shared(w_in, w_out, c, o, sampler, rng, lr)
+        k = c.size
+        neg = sampler.draw(rng, (k, self.negative))
+        h = w_in[c]
+        v_pos = w_out[o]
+        s_pos = _sigmoid(np.einsum("kd,kd->k", h, v_pos))
+        g_pos = s_pos - 1.0
+        v_neg = w_out[neg]
+        s_neg = _sigmoid(np.einsum("kd,knd->kn", h, v_neg))
+        g_neg = s_neg
+
+        grad_h = g_pos[:, None] * v_pos + np.einsum("kn,knd->kd", g_neg, v_neg)
+        grad_out_pos = g_pos[:, None] * h
+        grad_out_neg = (g_neg[:, :, None] * h[:, None, :]).reshape(-1, h.shape[1])
+
+        scatter_add_rows(w_in, c, -lr * grad_h, clip=self.max_row_step)
+        out_rows = np.concatenate([o.astype(np.int64), neg.ravel()])
+        out_grads = np.concatenate([grad_out_pos, grad_out_neg])
+        scatter_add_rows(w_out, out_rows, -lr * out_grads, clip=self.max_row_step)
+
+        eps = 1e-10
+        return float(
+            -np.log(s_pos + eps).mean() - np.log(1.0 - s_neg + eps).sum(axis=1).mean()
+        )
+
+    def _sgns_batch_shared(self, w_in, w_out, c, o, sampler, rng, lr) -> float:
+        """SGNS with batch-shared negatives.
+
+        One pool of S negatives serves the whole batch and every pair's
+        loss uses all of them scaled by ``negative / S`` — same gradient
+        in expectation, but all the 3-D per-pair tensors collapse into
+        two BLAS matmuls. Used for large corpora (``negative_sharing``).
+        """
+        k = c.size
+        pool = max(4 * self.negative, 32)
+        neg = sampler.draw(rng, pool)
+        scale = self.negative / pool
+        h = w_in[c]
+        v_pos = w_out[o]
+        s_pos = _sigmoid(np.einsum("kd,kd->k", h, v_pos))
+        g_pos = s_pos - 1.0
+        v_neg = w_out[neg]  # (S, d)
+        s_neg = _sigmoid(h @ v_neg.T)  # (k, S)
+
+        grad_h = g_pos[:, None] * v_pos + scale * (s_neg @ v_neg)
+        grad_out_pos = g_pos[:, None] * h
+        grad_out_neg = scale * (s_neg.T @ h)  # (S, d)
+
+        scatter_add_rows(w_in, c, -lr * grad_h, clip=self.max_row_step)
+        scatter_add_rows(w_out, o.astype(np.int64), -lr * grad_out_pos, clip=self.max_row_step)
+        scatter_add_rows(w_out, neg, -lr * grad_out_neg, clip=self.max_row_step)
+
+        eps = 1e-10
+        return float(
+            -np.log(s_pos + eps).mean()
+            - scale * np.log(1.0 - s_neg + eps).sum(axis=1).mean()
+        )
+
+    # ------------------------------------------------------------------
+    def _train_cbow(self, w_in, w_out, centers, contexts, positions, sampler, rng) -> None:
+        """CBOW: the mean of a center occurrence's context inputs predicts
+        the center's output vector.
+
+        Pairs are grouped by the center's *corpus position* (a specific
+        occurrence, not the token id), so each group is one genuine
+        window. Groups are shuffled per epoch and packed into batches of
+        roughly ``batch_pairs`` pairs.
+        """
+        order = np.argsort(positions, kind="stable")
+        c_sorted = centers[order].astype(np.int64)
+        o_sorted = contexts[order].astype(np.int64)
+        pos_sorted = positions[order]
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(pos_sorted)) + 1))
+        lengths = np.diff(np.append(starts, pos_sorted.size))
+        group_center = c_sorted[starts]
+        num_groups = starts.size
+        groups_per_batch = max(self.batch_pairs // max(2 * self.window, 1), 1)
+        batches_per_epoch = max((num_groups + groups_per_batch - 1) // groups_per_batch, 1)
+        lrs = self._lr_schedule(self.epochs * batches_per_epoch)
+        batch_no = 0
+        from repro.walks._segments import concat_ranges
+
+        for __ in range(self.epochs):
+            perm = rng.permutation(num_groups)
+            for s in range(0, num_groups, groups_per_batch):
+                chunk = perm[s : s + groups_per_batch]
+                pair_idx, seg_ids = concat_ranges(starts[chunk], lengths[chunk])
+                loss = self._cbow_batch(
+                    w_in,
+                    w_out,
+                    group_center[chunk],
+                    o_sorted[pair_idx],
+                    seg_ids,
+                    lengths[chunk].astype(np.float64),
+                    sampler,
+                    rng,
+                    lrs[batch_no],
+                )
+                self.training_loss_.append(loss)
+                batch_no += 1
+
+    def _cbow_batch(self, w_in, w_out, group_center, ctx, seg_ids, counts, sampler, rng, lr) -> float:
+        g = group_center.size
+        # h[g] = mean of the group's context input vectors, via a sparse
+        # averaging matrix (rows = pairs, cols = groups)
+        weights_mean = (1.0 / counts[seg_ids]).astype(np.float32)
+        averager = sparse.csr_matrix(
+            (weights_mean, seg_ids, np.arange(ctx.size + 1)),
+            shape=(ctx.size, g),
+        )
+        h = averager.T @ w_in[ctx]
+
+        neg = sampler.draw(rng, (g, self.negative))
+        v_pos = w_out[group_center]
+        s_pos = _sigmoid(np.einsum("gd,gd->g", h, v_pos))
+        g_pos = s_pos - 1.0
+        v_neg = w_out[neg]
+        s_neg = _sigmoid(np.einsum("gd,gnd->gn", h, v_neg))
+
+        grad_h = g_pos[:, None] * v_pos + np.einsum("gn,gnd->gd", s_neg, v_neg)
+        grad_out_pos = g_pos[:, None] * h
+        grad_out_neg = (s_neg[:, :, None] * h[:, None, :]).reshape(-1, h.shape[1])
+
+        # each context word receives the group's mean gradient (cbow_mean)
+        ctx_grad = (grad_h / counts[:, None])[seg_ids]
+        scatter_add_rows(w_in, ctx, -lr * ctx_grad, clip=self.max_row_step)
+        out_rows = np.concatenate([group_center, neg.ravel()])
+        out_grads = np.concatenate([grad_out_pos, grad_out_neg])
+        scatter_add_rows(w_out, out_rows, -lr * out_grads, clip=self.max_row_step)
+
+        eps = 1e-10
+        return float(
+            -np.log(s_pos + eps).mean() - np.log(1.0 - s_neg + eps).sum(axis=1).mean()
+        )

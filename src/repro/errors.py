@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. The simulated out-of-memory condition used by the
+scalability experiments raises :class:`SimulatedOutOfMemoryError`, which is
+deliberately *not* a :class:`MemoryError` subclass: it signals a modelled
+budget violation, not actual allocator failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph construction or invalid graph queries."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when a graph file cannot be parsed."""
+
+
+class SamplerError(ReproError):
+    """Raised for invalid sampler configuration or usage."""
+
+
+class SimulatedOutOfMemoryError(SamplerError):
+    """Raised when a sampler's memory estimate exceeds the simulated budget.
+
+    Mirrors the '*' (out-of-memory) entries of Tables VI and VII in the
+    paper without requiring billion-edge inputs.
+    """
+
+    def __init__(self, required_bytes: int, budget_bytes: int, what: str = "sampler"):
+        self.required_bytes = int(required_bytes)
+        self.budget_bytes = int(budget_bytes)
+        self.what = what
+        super().__init__(
+            f"simulated OOM: {what} requires {required_bytes:,} bytes "
+            f"but the budget is {budget_bytes:,} bytes"
+        )
+
+
+class ModelError(ReproError):
+    """Raised for invalid random-walk model definitions or parameters."""
+
+
+class WalkError(ReproError):
+    """Raised when walk generation is configured or driven incorrectly."""
+
+
+class VocabularyError(ReproError):
+    """Raised for unknown tokens or empty vocabularies in embedding code."""
+
+
+class TrainingError(ReproError):
+    """Raised when embedding training receives unusable input."""
+
+
+class EvaluationError(ReproError):
+    """Raised for malformed evaluation inputs (labels, splits, ...)."""

@@ -1,0 +1,43 @@
+"""Downstream evaluation: node classification and link prediction.
+
+The paper's accuracy study (Fig. 5) runs multi-label node classification
+with a one-vs-rest logistic classifier over the learned embeddings,
+sweeping the training-label fraction and reporting micro-/macro-F1 — the
+protocol introduced by the DeepWalk paper. This package implements that
+protocol from scratch (numpy + scipy optimiser) plus a link-prediction
+task as an extension.
+"""
+
+from repro.evaluation.classification import (
+    classification_sweep,
+    evaluate_split,
+    top_k_predictions,
+)
+from repro.evaluation.clustering import (
+    clustering_experiment,
+    kmeans,
+    normalized_mutual_information,
+)
+from repro.evaluation.linkpred import link_prediction_experiment
+from repro.evaluation.logistic import LogisticRegressionOVR
+from repro.evaluation.metrics import (
+    accuracy,
+    macro_f1,
+    micro_f1,
+    roc_auc,
+)
+
+__all__ = [
+    "LogisticRegressionOVR",
+    "micro_f1",
+    "macro_f1",
+    "accuracy",
+    "roc_auc",
+    "classification_sweep",
+    "evaluate_split",
+    "top_k_predictions",
+    "link_prediction_experiment",
+    "clustering_experiment",
+    "kmeans",
+    "normalized_mutual_information",
+]

@@ -1,0 +1,85 @@
+"""Classification metrics: micro/macro F1 (Fig. 5's y-axes), accuracy, AUC.
+
+All metrics operate on boolean indicator matrices ``(num_samples,
+num_classes)`` so single-label and multi-label tasks share one code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=bool)
+    y_pred = np.asarray(y_pred, dtype=bool)
+    if y_true.shape != y_pred.shape or y_true.ndim != 2:
+        raise EvaluationError(
+            f"y_true and y_pred must be equal-shape 2-D indicators, "
+            f"got {y_true.shape} vs {y_pred.shape}"
+        )
+    return y_true, y_pred
+
+
+def micro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """F1 over globally pooled true/false positives (label-frequency weighted)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    tp = float((y_true & y_pred).sum())
+    fp = float((~y_true & y_pred).sum())
+    fn = float((y_true & ~y_pred).sum())
+    denom = 2 * tp + fp + fn
+    if denom == 0:
+        return 0.0
+    return 2 * tp / denom
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 (sensitive to rare classes).
+
+    Classes absent from both truth and prediction contribute F1 = 0,
+    matching the strict convention used by the NRL literature.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    tp = (y_true & y_pred).sum(axis=0).astype(np.float64)
+    fp = (~y_true & y_pred).sum(axis=0).astype(np.float64)
+    fn = (y_true & ~y_pred).sum(axis=0).astype(np.float64)
+    denom = 2 * tp + fp + fn
+    f1 = np.zeros(y_true.shape[1])
+    nonzero = denom > 0
+    f1[nonzero] = 2 * tp[nonzero] / denom[nonzero]
+    return float(f1.mean()) if f1.size else 0.0
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Exact-match ratio (all labels of a sample correct)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if y_true.shape[0] == 0:
+        return 0.0
+    return float((y_true == y_pred).all(axis=1).mean())
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Binary ROC-AUC via the Mann-Whitney rank statistic.
+
+    Ties receive average ranks. Returns 0.5 when one class is absent.
+    """
+    y_true = np.asarray(y_true, dtype=bool).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise EvaluationError("y_true and scores must align")
+    pos = int(y_true.sum())
+    neg = y_true.size - pos
+    if pos == 0 or neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    # average ranks over tied groups
+    boundaries = np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_scores)) + 1, [scores.size])
+    )
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        ranks[order[lo:hi]] = 0.5 * (lo + hi - 1) + 1.0
+    rank_sum = float(ranks[y_true].sum())
+    return (rank_sum - pos * (pos + 1) / 2.0) / (pos * neg)

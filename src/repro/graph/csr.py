@@ -1,0 +1,308 @@
+"""Compressed-sparse-row graph storage (paper Section IV-C).
+
+:class:`CSRGraph` is the immutable in-memory network representation shared
+by every sampler and walk engine in the library. It stores a directed
+adjacency structure; undirected graphs are represented by storing both
+directions of every edge (the convention used by the paper's datasets).
+
+Design points that matter downstream:
+
+* **Rows are sorted.** The targets of each node's out-edges are stored in
+  ascending order, so ``edge_index`` (does edge (v, u) exist, and at which
+  global offset?) is a binary search — the O(log deg) lookup the paper's
+  complexity analysis of node2vec relies on.
+* **Global edge offsets are the currency.** Samplers identify an edge by
+  its position in the flat ``targets`` array. The M-H sampler's entire
+  mutable state is one int64 array of such offsets.
+* **Heterogeneous support.** Optional ``node_types`` (per node) and
+  ``edge_types`` (per directed edge entry) arrays back metapath2vec and
+  edge2vec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class CSRGraph:
+    """An immutable CSR graph.
+
+    Parameters
+    ----------
+    offsets:
+        int64 array of shape ``(num_nodes + 1,)``; row ``v`` spans
+        ``targets[offsets[v]:offsets[v + 1]]``.
+    targets:
+        int32/int64 array of edge targets, sorted within each row.
+    weights:
+        optional float64 array aligned with ``targets``; ``None`` means an
+        unweighted graph (all weights treated as 1.0).
+    node_types:
+        optional int16 array of shape ``(num_nodes,)`` with type ids in
+        ``[0, num_node_types)``.
+    edge_types:
+        optional int32 array aligned with ``targets`` with type ids in
+        ``[0, num_edge_types)``.
+    """
+
+    __slots__ = (
+        "offsets",
+        "targets",
+        "weights",
+        "node_types",
+        "edge_types",
+        "num_node_types",
+        "num_edge_types",
+    )
+
+    def __init__(self, offsets, targets, weights=None, node_types=None, edge_types=None):
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.targets = np.ascontiguousarray(targets, dtype=np.int64)
+        self.weights = None if weights is None else np.ascontiguousarray(weights, dtype=np.float64)
+        self.node_types = (
+            None if node_types is None else np.ascontiguousarray(node_types, dtype=np.int16)
+        )
+        self.edge_types = (
+            None if edge_types is None else np.ascontiguousarray(edge_types, dtype=np.int32)
+        )
+        self.num_node_types = 1 if self.node_types is None else int(self.node_types.max(initial=-1)) + 1
+        self.num_edge_types = 1 if self.edge_types is None else int(self.edge_types.max(initial=-1)) + 1
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.offsets.ndim != 1 or self.offsets.size < 1:
+            raise GraphError("offsets must be a 1-D array with at least one entry")
+        if self.offsets[0] != 0:
+            raise GraphError("offsets[0] must be 0")
+        if np.any(np.diff(self.offsets) < 0):
+            raise GraphError("offsets must be non-decreasing")
+        if self.offsets[-1] != self.targets.size:
+            raise GraphError(
+                f"offsets[-1] ({self.offsets[-1]}) must equal the number of "
+                f"edge entries ({self.targets.size})"
+            )
+        n = self.num_nodes
+        if self.targets.size and (self.targets.min() < 0 or self.targets.max() >= n):
+            raise GraphError("edge targets out of range")
+        if self.weights is not None:
+            if self.weights.shape != self.targets.shape:
+                raise GraphError("weights must align with targets")
+            if np.any(~np.isfinite(self.weights)) or np.any(self.weights < 0):
+                raise GraphError("weights must be finite and non-negative")
+        if self.node_types is not None and self.node_types.shape != (n,):
+            raise GraphError("node_types must have one entry per node")
+        if self.edge_types is not None and self.edge_types.shape != self.targets.shape:
+            raise GraphError("edge_types must align with targets")
+        # Sorted rows are required for binary-search lookups.
+        if self.targets.size:
+            row_starts = self.offsets[:-1]
+            diffs = np.diff(self.targets)
+            # positions where a new row begins are exempt from ordering
+            boundary = np.zeros(self.targets.size, dtype=bool)
+            boundary[row_starts[row_starts < self.targets.size]] = True
+            interior = ~boundary[1:]
+            if np.any(diffs[interior] < 0):
+                raise GraphError("targets must be sorted within each row")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self.offsets.size - 1
+
+    @property
+    def num_edge_entries(self) -> int:
+        """Number of *directed* edge entries (2x edge count for undirected)."""
+        return self.targets.size
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Edge-entry count divided by two (meaningful for symmetric graphs)."""
+        return self.targets.size // 2
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when an explicit weight array is present."""
+        return self.weights is not None
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when node types are attached."""
+        return self.node_types is not None
+
+    @property
+    def mean_degree(self) -> float:
+        """Average out-degree."""
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edge_entries / self.num_nodes
+
+    def degree(self, v: int) -> int:
+        """Out-degree of node ``v``."""
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree array for all nodes."""
+        return np.diff(self.offsets)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """View of the (sorted) neighbour ids of ``v``."""
+        return self.targets[self.offsets[v] : self.offsets[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Static weights of the out-edges of ``v`` (ones when unweighted)."""
+        lo, hi = self.offsets[v], self.offsets[v + 1]
+        if self.weights is None:
+            return np.ones(hi - lo, dtype=np.float64)
+        return self.weights[lo:hi]
+
+    def edge_weight_at(self, offset) -> np.ndarray | float:
+        """Static weight of the edge entry at ``offset`` (scalar or array)."""
+        if self.weights is None:
+            if np.isscalar(offset):
+                return 1.0
+            return np.ones(np.shape(offset), dtype=np.float64)
+        return self.weights[offset]
+
+    def edge_range(self, v: int) -> tuple[int, int]:
+        """Half-open global offset range of node ``v``'s out-edges."""
+        return int(self.offsets[v]), int(self.offsets[v + 1])
+
+    # ------------------------------------------------------------------
+    # edge lookup (binary search on sorted rows)
+    # ------------------------------------------------------------------
+    def edge_index(self, v: int, u: int) -> int:
+        """Global offset of directed edge entry (v, u), or -1 if absent."""
+        lo, hi = self.offsets[v], self.offsets[v + 1]
+        pos = lo + np.searchsorted(self.targets[lo:hi], u)
+        if pos < hi and self.targets[pos] == u:
+            return int(pos)
+        return -1
+
+    def has_edge(self, v: int, u: int) -> bool:
+        """True when the directed edge entry (v, u) exists."""
+        return self.edge_index(v, u) >= 0
+
+    def edge_index_batch(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`edge_index` for aligned ``src``/``dst`` arrays.
+
+        Runs a lock-step binary search over all queries simultaneously in
+        O(log(max_degree)) vector passes. Returns -1 where absent.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        lo = self.offsets[src]
+        hi = self.offsets[src + 1]
+        row_end = hi.copy()
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo + hi) // 2
+            # compare only where active; elsewhere keep bounds fixed
+            vals = self.targets[np.minimum(mid, self.num_edge_entries - 1)]
+            go_right = active & (vals < dst)
+            go_left = active & ~go_right
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(go_left, mid, hi)
+        found = (lo < row_end) & (
+            self.targets[np.minimum(lo, max(self.num_edge_entries - 1, 0))] == dst
+        )
+        return np.where(found, lo, -1)
+
+    def has_edge_batch(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`has_edge`."""
+        return self.edge_index_batch(src, dst) >= 0
+
+    # ------------------------------------------------------------------
+    # derived data
+    # ------------------------------------------------------------------
+    def edge_sources(self) -> np.ndarray:
+        """Source node of every directed edge entry (expanded from rows)."""
+        return np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees())
+
+    def total_weight(self, v: int) -> float:
+        """Sum of static out-edge weights of ``v``."""
+        return float(self.neighbor_weights(v).sum())
+
+    def weight_row_sums(self) -> np.ndarray:
+        """Per-node sums of static out-edge weights (0.0 for empty rows)."""
+        if self.weights is None:
+            return self.degrees().astype(np.float64)
+        prefix = np.concatenate(([0.0], np.cumsum(self.weights)))
+        return prefix[self.offsets[1:]] - prefix[self.offsets[:-1]]
+
+    def memory_bytes(self) -> int:
+        """Actual bytes held by the CSR arrays (the paper's storage cost)."""
+        total = self.offsets.nbytes + self.targets.nbytes
+        for arr in (self.weights, self.node_types, self.edge_types):
+            if arr is not None:
+                total += arr.nbytes
+        return total
+
+    def with_node_types(self, node_types, edge_types=None) -> "CSRGraph":
+        """Return a copy of this graph with type annotations attached."""
+        return CSRGraph(
+            self.offsets,
+            self.targets,
+            self.weights,
+            node_types=node_types,
+            edge_types=edge_types,
+        )
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (src, dst, weight) arrays over all directed entries."""
+        src = self.edge_sources()
+        weights = (
+            np.ones(self.num_edge_entries, dtype=np.float64)
+            if self.weights is None
+            else self.weights.copy()
+        )
+        return src, self.targets.copy(), weights
+
+    def to_networkx(self):
+        """Convert to a ``networkx.DiGraph`` (test/interop helper)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_nodes))
+        src, dst, w = self.edge_list()
+        g.add_weighted_edges_from(zip(src.tolist(), dst.tolist(), w.tolist()))
+        if self.node_types is not None:
+            for v in range(self.num_nodes):
+                g.nodes[v]["node_type"] = int(self.node_types[v])
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, weight_attr: str = "weight") -> "CSRGraph":
+        """Build from a networkx graph (undirected graphs are symmetrised)."""
+        from repro.graph.builder import GraphBuilder
+
+        directed = g.is_directed()
+        builder = GraphBuilder(num_nodes=g.number_of_nodes(), directed=directed)
+        for u, v, data in g.edges(data=True):
+            builder.add_edge(int(u), int(v), float(data.get(weight_attr, 1.0)))
+        node_types = None
+        if all("node_type" in g.nodes[v] for v in g.nodes) and g.number_of_nodes():
+            node_types = np.array([g.nodes[v]["node_type"] for v in sorted(g.nodes)], dtype=np.int16)
+        graph = builder.build()
+        if node_types is not None:
+            graph = graph.with_node_types(node_types)
+        return graph
+
+    def __repr__(self) -> str:
+        kind = "heterogeneous" if self.is_heterogeneous else "homogeneous"
+        return (
+            f"CSRGraph(num_nodes={self.num_nodes}, edge_entries={self.num_edge_entries}, "
+            f"{kind}, weighted={self.is_weighted})"
+        )

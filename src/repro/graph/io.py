@@ -1,0 +1,125 @@
+"""Graph file formats: whitespace edge lists and binary ``.npz`` CSR dumps.
+
+The edge-list reader accepts the format used by the paper's public
+datasets (SNAP-style): one edge per line, ``src dst [weight]``, ``#``
+comments. Node types for heterogeneous graphs live in a companion file
+with one ``node_id type_id`` pair per line.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edge_arrays
+from repro.graph.csr import CSRGraph
+
+
+def load_edge_list(
+    path,
+    *,
+    directed: bool = False,
+    weighted: bool = False,
+    num_nodes: int | None = None,
+    comments: str = "#",
+    duplicate_policy: str = "sum",
+) -> CSRGraph:
+    """Parse a whitespace-separated edge list into a :class:`CSRGraph`."""
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    w_list: list[float] = []
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{lineno}: expected 'src dst [weight]'")
+            try:
+                src_list.append(int(parts[0]))
+                dst_list.append(int(parts[1]))
+                if weighted:
+                    if len(parts) < 3:
+                        raise GraphFormatError(f"{path}:{lineno}: missing weight column")
+                    w_list.append(float(parts[2]))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+    weights = np.asarray(w_list) if weighted else None
+    return from_edge_arrays(
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        weights,
+        num_nodes=num_nodes,
+        directed=directed,
+        duplicate_policy=duplicate_policy,
+    )
+
+
+def save_edge_list(graph: CSRGraph, path, *, weighted: bool | None = None) -> None:
+    """Write every *directed* edge entry as ``src dst [weight]`` lines.
+
+    Round-trips with ``load_edge_list(path, directed=True)``.
+    """
+    if weighted is None:
+        weighted = graph.is_weighted
+    src, dst, w = graph.edge_list()
+    with open(path, "w") as handle:
+        handle.write(f"# nodes={graph.num_nodes} directed_entries={graph.num_edge_entries}\n")
+        if weighted:
+            for s, d, x in zip(src.tolist(), dst.tolist(), w.tolist()):
+                handle.write(f"{s} {d} {x:.10g}\n")
+        else:
+            for s, d in zip(src.tolist(), dst.tolist()):
+                handle.write(f"{s} {d}\n")
+
+
+def load_node_types(path, num_nodes: int, *, comments: str = "#") -> np.ndarray:
+    """Parse a ``node_id type_id`` file into an int16 array of length n."""
+    types = np.zeros(num_nodes, dtype=np.int16)
+    seen = np.zeros(num_nodes, dtype=bool)
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphFormatError(f"{path}:{lineno}: expected 'node_id type_id'")
+            node, tid = int(parts[0]), int(parts[1])
+            if not 0 <= node < num_nodes:
+                raise GraphFormatError(f"{path}:{lineno}: node id {node} out of range")
+            types[node] = tid
+            seen[node] = True
+    if not seen.all():
+        missing = int(np.flatnonzero(~seen)[0])
+        raise GraphFormatError(f"{path}: node {missing} has no type assignment")
+    return types
+
+
+def save_npz(graph: CSRGraph, path) -> None:
+    """Serialize the CSR arrays to a compressed ``.npz`` file."""
+    payload = {"offsets": graph.offsets, "targets": graph.targets}
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    if graph.node_types is not None:
+        payload["node_types"] = graph.node_types
+    if graph.edge_types is not None:
+        payload["edge_types"] = graph.edge_types
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path) -> CSRGraph:
+    """Load a graph previously stored with :func:`save_npz`."""
+    if not os.path.exists(path):
+        raise GraphFormatError(f"no such file: {path}")
+    with np.load(path) as data:
+        return CSRGraph(
+            data["offsets"],
+            data["targets"],
+            weights=data["weights"] if "weights" in data else None,
+            node_types=data["node_types"] if "node_types" in data else None,
+            edge_types=data["edge_types"] if "edge_types" in data else None,
+        )

@@ -1,0 +1,99 @@
+"""Node label containers for the classification experiments (Fig. 5).
+
+Two label regimes appear in the paper's evaluation:
+
+* multi-label (BlogCatalog / Flickr style): each node belongs to any
+  number of groups — stored as a boolean ``(num_labeled, num_classes)``
+  matrix;
+* single-label multi-class (AMiner author areas): stored as an int class
+  id per node and convertible to one-hot.
+
+Labels may cover only a subset of the graph's nodes (e.g. only author
+nodes of a heterogeneous academic network), tracked via ``node_ids``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+class NodeLabels:
+    """Labels for a (subset of a) graph's nodes.
+
+    Parameters
+    ----------
+    node_ids:
+        int array of the labeled node ids.
+    y:
+        either an int array of shape ``(len(node_ids),)`` (single-label)
+        or a boolean matrix ``(len(node_ids), num_classes)`` (multi-label).
+    """
+
+    def __init__(self, node_ids, y):
+        self.node_ids = np.asarray(node_ids, dtype=np.int64)
+        y = np.asarray(y)
+        if y.ndim == 1:
+            y = y.astype(np.int64)
+            if y.size != self.node_ids.size:
+                raise EvaluationError("labels must align with node_ids")
+            if y.size and y.min() < 0:
+                raise EvaluationError("class ids must be non-negative")
+            self._classes = y
+            self._matrix = None
+        elif y.ndim == 2:
+            if y.shape[0] != self.node_ids.size:
+                raise EvaluationError("label matrix rows must align with node_ids")
+            self._matrix = y.astype(bool)
+            self._classes = None
+            if y.size and not self._matrix.any(axis=1).all():
+                raise EvaluationError("every labeled node needs at least one label")
+        else:
+            raise EvaluationError("y must be 1-D class ids or a 2-D indicator matrix")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_multilabel(self) -> bool:
+        """True when labels are stored as an indicator matrix."""
+        return self._matrix is not None
+
+    @property
+    def num_labeled(self) -> int:
+        """Number of labeled nodes."""
+        return self.node_ids.size
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes/groups."""
+        if self._matrix is not None:
+            return self._matrix.shape[1]
+        return int(self._classes.max(initial=-1)) + 1
+
+    def indicator_matrix(self) -> np.ndarray:
+        """Boolean ``(num_labeled, num_classes)`` matrix view of the labels."""
+        if self._matrix is not None:
+            return self._matrix
+        out = np.zeros((self.num_labeled, self.num_classes), dtype=bool)
+        out[np.arange(self.num_labeled), self._classes] = True
+        return out
+
+    def class_ids(self) -> np.ndarray:
+        """Single-label class ids (raises for multi-label data)."""
+        if self._classes is None:
+            raise EvaluationError("multi-label data has no single class id per node")
+        return self._classes
+
+    def subset(self, positions) -> "NodeLabels":
+        """Labels restricted to ``positions`` (indices into node_ids)."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if self._matrix is not None:
+            return NodeLabels(self.node_ids[positions], self._matrix[positions])
+        return NodeLabels(self.node_ids[positions], self._classes[positions])
+
+    def __repr__(self) -> str:
+        kind = "multi-label" if self.is_multilabel else "single-label"
+        return (
+            f"NodeLabels(num_labeled={self.num_labeled}, "
+            f"num_classes={self.num_classes}, {kind})"
+        )

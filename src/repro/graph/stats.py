@@ -1,0 +1,55 @@
+"""Graph statistics — the quantities reported in the paper's Table V."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def graph_statistics(graph: CSRGraph) -> dict:
+    """Summary statistics for one graph.
+
+    ``num_edges`` counts undirected edges (entry count / 2), matching the
+    |E| column of Table V for the paper's symmetric datasets.
+    """
+    degrees = graph.degrees()
+    return {
+        "num_nodes": graph.num_nodes,
+        "num_edge_entries": graph.num_edge_entries,
+        "num_edges": graph.num_undirected_edges,
+        "mean_degree": float(degrees.mean()) if degrees.size else 0.0,
+        "max_degree": int(degrees.max(initial=0)),
+        "min_degree": int(degrees.min(initial=0)),
+        "median_degree": float(np.median(degrees)) if degrees.size else 0.0,
+        "num_node_types": graph.num_node_types,
+        "num_edge_types": graph.num_edge_types,
+        "weighted": graph.is_weighted,
+        "isolated_nodes": int((degrees == 0).sum()),
+        "memory_bytes": graph.memory_bytes(),
+    }
+
+
+def degree_histogram(graph: CSRGraph, num_bins: int = 32) -> tuple[np.ndarray, np.ndarray]:
+    """Log-spaced degree histogram (bin_edges, counts) for skew inspection."""
+    degrees = graph.degrees()
+    degrees = degrees[degrees > 0]
+    if degrees.size == 0:
+        return np.array([1.0, 2.0]), np.array([0])
+    hi = max(float(degrees.max()), 2.0)
+    edges = np.unique(np.geomspace(1.0, hi, num_bins).round()).astype(np.float64)
+    counts, _ = np.histogram(degrees, bins=np.append(edges, edges[-1] + 1))
+    return edges, counts
+
+
+def power_law_exponent_estimate(graph: CSRGraph, d_min: int = 4) -> float:
+    """Maximum-likelihood (Hill) estimate of the degree power-law exponent.
+
+    Uses the discrete MLE ``1 + n / sum(log(d / (d_min - 0.5)))`` over
+    degrees >= d_min. Returns ``nan`` when too few tail nodes exist.
+    """
+    degrees = graph.degrees().astype(np.float64)
+    tail = degrees[degrees >= d_min]
+    if tail.size < 10:
+        return float("nan")
+    return 1.0 + tail.size / float(np.log(tail / (d_min - 0.5)).sum())

@@ -1,0 +1,5 @@
+"""Benchmark harness support: paper-style table formatting and runners."""
+
+from repro.harness.tables import format_table, print_table
+
+__all__ = ["format_table", "print_table"]

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark reports.
+
+The benchmark modules print the same rows/series the paper's tables and
+figures report; this keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers, rows, *, title: str | None = None) -> str:
+    """Render rows (sequences or dicts keyed by header) as aligned text."""
+    headers = [str(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        if isinstance(row, dict):
+            text_rows.append([_cell(row.get(h)) for h in headers])
+        else:
+            text_rows.append([_cell(v) for v in row])
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers, rows, *, title: str | None = None) -> None:
+    """Print :func:`format_table` output with surrounding blank lines."""
+    print()
+    print(format_table(headers, rows, title=title))
+    print()

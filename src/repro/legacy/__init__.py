@@ -1,0 +1,20 @@
+"""Pure-Python baselines mimicking the released model implementations.
+
+Table VI's "Open-sourced Version" column benchmarks the authors' public
+code (phanein/deepwalk, aditya-grover/node2vec, the metapath2vec /
+edge2vec / fairwalk releases). Those repositories share two traits this
+package reproduces faithfully:
+
+* Python-object graph representations (dict/list adjacency) walked one
+  step at a time in interpreted code;
+* their original sampling strategies — per-step ``random.choices`` for
+  deepwalk/metapath2vec/edge2vec/fairwalk (direct sampling), and
+  node2vec's infamous *preprocess-alias-tables-for-every-edge* step,
+  whose time and memory explosion motivates the paper's Challenge 1.
+
+They are baselines, not production code: run them on small graphs.
+"""
+
+from repro.legacy.api import LEGACY_MODELS, run_legacy_walks
+
+__all__ = ["run_legacy_walks", "LEGACY_MODELS"]

@@ -1,0 +1,32 @@
+"""Python-object adjacency structures used by the legacy baselines."""
+
+from __future__ import annotations
+
+
+class AdjacencyGraph:
+    """Dict-of-lists view of a CSR graph (the open-source repos' layout)."""
+
+    def __init__(self, graph):
+        self.num_nodes = graph.num_nodes
+        self.neighbors: list[list[int]] = []
+        self.weights: list[list[float]] = []
+        self.is_weighted = graph.is_weighted
+        for v in range(graph.num_nodes):
+            self.neighbors.append(graph.neighbors(v).tolist())
+            self.weights.append(graph.neighbor_weights(v).tolist())
+        self.node_types = (
+            graph.node_types.tolist() if graph.node_types is not None else None
+        )
+        # edge types per (src, position-in-row)
+        if graph.edge_types is not None:
+            self.edge_types = [
+                graph.edge_types[graph.offsets[v] : graph.offsets[v + 1]].tolist()
+                for v in range(graph.num_nodes)
+            ]
+        else:
+            self.edge_types = None
+        self._neighbor_sets = [set(ns) for ns in self.neighbors]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Constant-time membership via per-node sets."""
+        return v in self._neighbor_sets[u]

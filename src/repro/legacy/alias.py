@@ -1,0 +1,43 @@
+"""The alias_setup / alias_draw pair from the original node2vec repository.
+
+Kept deliberately close to the reference code (lists + stacks) because
+its per-edge invocation *is* the preprocessing cost the paper measures.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def alias_setup(probs):
+    """Build alias tables for a normalised probability list."""
+    k = len(probs)
+    q = [0.0] * k
+    j = [0] * k
+    smaller = []
+    larger = []
+    for i, prob in enumerate(probs):
+        q[i] = k * prob
+        if q[i] < 1.0:
+            smaller.append(i)
+        else:
+            larger.append(i)
+    while smaller and larger:
+        small = smaller.pop()
+        large = larger.pop()
+        j[small] = large
+        q[large] = q[large] + q[small] - 1.0
+        if q[large] < 1.0:
+            smaller.append(large)
+        else:
+            larger.append(large)
+    return j, q
+
+
+def alias_draw(j, q, rng: random.Random) -> int:
+    """Draw one outcome from alias tables."""
+    k = len(j)
+    i = int(rng.random() * k)
+    if rng.random() < q[i]:
+        return i
+    return j[i]

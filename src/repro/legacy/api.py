@@ -1,0 +1,69 @@
+"""Driver for the legacy baselines with the paper's timing split."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.legacy.walkers import (
+    LegacyDeepWalk,
+    LegacyEdge2Vec,
+    LegacyFairWalk,
+    LegacyMetaPath2Vec,
+    LegacyNode2Vec,
+)
+from repro.walks.corpus import WalkCorpus
+
+LEGACY_MODELS = {
+    "deepwalk": LegacyDeepWalk,
+    "node2vec": LegacyNode2Vec,
+    "metapath2vec": LegacyMetaPath2Vec,
+    "edge2vec": LegacyEdge2Vec,
+    "fairwalk": LegacyFairWalk,
+}
+
+
+def run_legacy_walks(
+    graph,
+    model: str,
+    *,
+    num_walks: int = 10,
+    walk_length: int = 80,
+    start_nodes=None,
+    seed=None,
+    **params,
+) -> tuple[WalkCorpus, dict]:
+    """Generate the paper's workload with an open-source-style walker.
+
+    Returns ``(corpus, timings)`` with ``timings["init"]`` covering graph
+    conversion + preprocessing (node2vec's per-edge alias build) and
+    ``timings["walk"]`` the interpreted walking loop.
+    """
+    key = model.lower()
+    if key not in LEGACY_MODELS:
+        raise ModelError(f"no legacy baseline for {model!r}")
+
+    t0 = time.perf_counter()
+    walker = LEGACY_MODELS[key](graph, seed=seed, **params)
+    walker.preprocess()
+    init_seconds = time.perf_counter() - t0
+
+    if start_nodes is None:
+        if key == "metapath2vec":
+            wanted = walker.path[0]
+            starts = np.flatnonzero(graph.node_types == wanted)
+        else:
+            starts = np.arange(graph.num_nodes)
+    else:
+        starts = np.asarray(start_nodes)
+
+    t1 = time.perf_counter()
+    sequences = []
+    for __ in range(num_walks):
+        for v in starts:
+            sequences.append(walker.walk(int(v), walk_length))
+    walk_seconds = time.perf_counter() - t1
+    corpus = WalkCorpus.from_lists(sequences)
+    return corpus, {"init": init_seconds, "walk": walk_seconds}

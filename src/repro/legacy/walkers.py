@@ -1,0 +1,243 @@
+"""Legacy walk generators, one per released implementation.
+
+Each generator exposes ``preprocess()`` (returns seconds) and
+``walk(start, length)``; :mod:`repro.legacy.api` drives them through the
+paper's workload and reports the preprocess/walk timing split.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ModelError
+from repro.legacy.adjacency import AdjacencyGraph
+from repro.legacy.alias import alias_draw, alias_setup
+
+
+class LegacyDeepWalk:
+    """phanein/deepwalk: per-step uniform (or weighted) random choice."""
+
+    def __init__(self, graph, *, seed=None, **_params):
+        self.adj = AdjacencyGraph(graph)
+        self.rng = random.Random(seed)
+
+    def preprocess(self) -> None:
+        return None
+
+    def walk(self, start: int, length: int) -> list[int]:
+        rng, adj = self.rng, self.adj
+        path = [start]
+        cur = start
+        for __ in range(length - 1):
+            nbrs = adj.neighbors[cur]
+            if not nbrs:
+                break
+            if adj.is_weighted:
+                cur = rng.choices(nbrs, weights=adj.weights[cur], k=1)[0]
+            else:
+                cur = nbrs[int(rng.random() * len(nbrs))]
+            path.append(cur)
+        return path
+
+
+class LegacyNode2Vec:
+    """aditya-grover/node2vec: alias tables for every node *and* edge.
+
+    ``preprocess`` builds ``alias_edges[(s, v)]`` for all directed edges
+    — the O(|E|·d) time and memory cost that dominates the open-source
+    column of Table VI and OOMs on large graphs.
+    """
+
+    def __init__(self, graph, *, p: float = 1.0, q: float = 1.0, seed=None, **_params):
+        self.adj = AdjacencyGraph(graph)
+        self.p = p
+        self.q = q
+        self.rng = random.Random(seed)
+        self.alias_nodes: dict = {}
+        self.alias_edges: dict = {}
+
+    def preprocess(self) -> None:
+        adj = self.adj
+        for v in range(adj.num_nodes):
+            weights = adj.weights[v]
+            total = sum(weights)
+            if total <= 0:
+                continue
+            self.alias_nodes[v] = alias_setup([w / total for w in weights])
+        for s in range(adj.num_nodes):
+            for v in adj.neighbors[s]:
+                self.alias_edges[(s, v)] = self._edge_alias(s, v)
+
+    def _edge_alias(self, s: int, v: int):
+        adj = self.adj
+        probs = []
+        for u, w in zip(adj.neighbors[v], adj.weights[v]):
+            if u == s:
+                probs.append(w / self.p)
+            elif adj.has_edge(s, u):
+                probs.append(w)
+            else:
+                probs.append(w / self.q)
+        total = sum(probs)
+        return alias_setup([x / total for x in probs])
+
+    def walk(self, start: int, length: int) -> list[int]:
+        adj, rng = self.adj, self.rng
+        path = [start]
+        while len(path) < length:
+            cur = path[-1]
+            nbrs = adj.neighbors[cur]
+            if not nbrs:
+                break
+            if len(path) == 1:
+                table = self.alias_nodes.get(cur)
+                if table is None:
+                    break
+                path.append(nbrs[alias_draw(table[0], table[1], rng)])
+            else:
+                table = self.alias_edges[(path[-2], cur)]
+                path.append(nbrs[alias_draw(table[0], table[1], rng)])
+        return path
+
+
+class LegacyMetaPath2Vec:
+    """Original metapath2vec: per-step filtering of type-matching neighbours."""
+
+    def __init__(self, graph, *, metapath="APA", seed=None, **_params):
+        from repro.graph.hetero import parse_metapath
+
+        if graph.node_types is None:
+            raise ModelError("legacy metapath2vec needs node types")
+        self.adj = AdjacencyGraph(graph)
+        self.path = parse_metapath(metapath)
+        if self.path[0] != self.path[-1]:
+            raise ModelError("metapath must be cyclic")
+        self.rng = random.Random(seed)
+
+    def preprocess(self) -> None:
+        return None
+
+    def walk(self, start: int, length: int) -> list[int]:
+        adj, rng = self.adj, self.rng
+        k = len(self.path) - 1
+        path = [start]
+        cur = start
+        for step in range(length - 1):
+            wanted = self.path[(step % k) + 1]
+            candidates = []
+            cand_weights = []
+            for u, w in zip(adj.neighbors[cur], adj.weights[cur]):
+                if adj.node_types[u] == wanted:
+                    candidates.append(u)
+                    cand_weights.append(w)
+            if not candidates:
+                break
+            if adj.is_weighted:
+                cur = rng.choices(candidates, weights=cand_weights, k=1)[0]
+            else:
+                cur = candidates[int(rng.random() * len(candidates))]
+            path.append(cur)
+        return path
+
+
+class LegacyEdge2Vec:
+    """Original edge2vec: per-step normalised direct sampling with the
+    type-transition matrix."""
+
+    def __init__(self, graph, *, p: float = 1.0, q: float = 1.0, transition_matrix=None, seed=None, **_params):
+        if graph.edge_types is None:
+            raise ModelError("legacy edge2vec needs edge types")
+        self.adj = AdjacencyGraph(graph)
+        self.p = p
+        self.q = q
+        t = graph.num_edge_types
+        if transition_matrix is None:
+            self.matrix = [[1.0] * t for __ in range(t)]
+        else:
+            self.matrix = [list(map(float, row)) for row in transition_matrix]
+        self.rng = random.Random(seed)
+
+    def preprocess(self) -> None:
+        return None
+
+    def walk(self, start: int, length: int) -> list[int]:
+        adj, rng = self.adj, self.rng
+        path = [start]
+        cur = start
+        prev = None
+        prev_etype = None
+        for __ in range(length - 1):
+            nbrs = adj.neighbors[cur]
+            if not nbrs:
+                break
+            weights = []
+            for pos, (u, w) in enumerate(zip(nbrs, adj.weights[cur])):
+                if prev is None:
+                    weights.append(w)
+                    continue
+                if u == prev:
+                    alpha = 1.0 / self.p
+                elif adj.has_edge(prev, u):
+                    alpha = 1.0
+                else:
+                    alpha = 1.0 / self.q
+                m = self.matrix[prev_etype][adj.edge_types[cur][pos]]
+                weights.append(alpha * m * w)
+            total = sum(weights)
+            if total <= 0:
+                break
+            pick = rng.choices(range(len(nbrs)), weights=weights, k=1)[0]
+            prev = cur
+            prev_etype = adj.edge_types[cur][pick]
+            cur = nbrs[pick]
+            path.append(cur)
+        return path
+
+
+class LegacyFairWalk:
+    """Original fairwalk: choose a neighbour group uniformly, then a node
+    within the group by node2vec rules."""
+
+    def __init__(self, graph, *, p: float = 1.0, q: float = 1.0, seed=None, **_params):
+        if graph.node_types is None:
+            raise ModelError("legacy fairwalk needs node types")
+        self.adj = AdjacencyGraph(graph)
+        self.p = p
+        self.q = q
+        self.rng = random.Random(seed)
+
+    def preprocess(self) -> None:
+        return None
+
+    def walk(self, start: int, length: int) -> list[int]:
+        adj, rng = self.adj, self.rng
+        path = [start]
+        cur = start
+        prev = None
+        for __ in range(length - 1):
+            nbrs = adj.neighbors[cur]
+            if not nbrs:
+                break
+            groups: dict[int, list[tuple[int, float]]] = {}
+            for u, w in zip(nbrs, adj.weights[cur]):
+                groups.setdefault(adj.node_types[u], []).append((u, w))
+            group = groups[rng.choice(list(groups))]
+            weights = []
+            for u, w in group:
+                if prev is None:
+                    alpha = 1.0
+                elif u == prev:
+                    alpha = 1.0 / self.p
+                elif adj.has_edge(prev, u):
+                    alpha = 1.0
+                else:
+                    alpha = 1.0 / self.q
+                weights.append(alpha * w)
+            total = sum(weights)
+            if total <= 0:
+                break
+            pick = rng.choices(range(len(group)), weights=weights, k=1)[0]
+            prev = cur
+            cur = group[pick][0]
+            path.append(cur)
+        return path

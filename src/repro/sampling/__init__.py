@@ -1,0 +1,73 @@
+"""Edge samplers.
+
+This package implements the paper's M-H based edge sampler (Section III)
+and every baseline it is compared against (Sections I, V):
+
+========================  =========================  ==================
+sampler                   time / sample              memory
+========================  =========================  ==================
+direct (Marsaglia 1963)   O(d)                       O(1)
+alias (Walker 1977)       O(1)                       O(d · #state)
+rejection (KnightKing)    O(1/θ), θ param-sensitive  O(|E|) proposal
+KnightKing + folding      O(1/θ'), θ' ≥ θ            O(|E|) proposal
+memory-aware (SIGMOD'20)  mixed                      ≤ budget
+**M-H (this paper)**      O(1)                       O(#state)
+========================  =========================  ==================
+
+All samplers share the scalar interface of
+:class:`~repro.sampling.base.EdgeSampler` and report memory through
+:mod:`~repro.sampling.memory_model`, which also provides the simulated
+out-of-memory budget used by the scalability benchmarks.
+"""
+
+from repro.sampling.alias import (
+    AliasTable,
+    FirstOrderAliasSampler,
+    SecondOrderAliasSampler,
+    build_alias_table,
+)
+from repro.sampling.base import EdgeSampler, SamplerStats
+from repro.sampling.direct import DirectSampler
+from repro.sampling.initialization import (
+    BurnInInitializer,
+    HighWeightInitializer,
+    RandomInitializer,
+    make_initializer,
+)
+from repro.sampling.knightking import KnightKingSampler
+from repro.sampling.memory_aware import MemoryAwareSampler
+from repro.sampling.memory_model import MemoryBudget, sampler_memory_estimate
+from repro.sampling.metropolis import MetropolisHastingsSampler
+from repro.sampling.rejection import RejectionSampler
+
+SAMPLERS = {
+    "direct": DirectSampler,
+    "alias": SecondOrderAliasSampler,
+    "alias-first-order": FirstOrderAliasSampler,
+    "rejection": RejectionSampler,
+    "knightking": KnightKingSampler,
+    "memory-aware": MemoryAwareSampler,
+    "mh": MetropolisHastingsSampler,
+    "metropolis-hastings": MetropolisHastingsSampler,
+}
+
+__all__ = [
+    "EdgeSampler",
+    "SamplerStats",
+    "AliasTable",
+    "build_alias_table",
+    "FirstOrderAliasSampler",
+    "SecondOrderAliasSampler",
+    "DirectSampler",
+    "RejectionSampler",
+    "KnightKingSampler",
+    "MemoryAwareSampler",
+    "MetropolisHastingsSampler",
+    "RandomInitializer",
+    "HighWeightInitializer",
+    "BurnInInitializer",
+    "make_initializer",
+    "MemoryBudget",
+    "sampler_memory_estimate",
+    "SAMPLERS",
+]

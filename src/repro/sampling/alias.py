@@ -1,0 +1,248 @@
+"""Alias-method edge samplers (Walker 1977).
+
+The alias method turns any fixed discrete distribution over ``d`` outcomes
+into an O(1) sampler after an O(d) table build. The catch — and the reason
+the paper's Table VII marks it out-of-memory on billion-edge networks — is
+that a *separate* table is needed per walker state: ``|V|`` tables for
+first-order models but ``|E|`` tables (each of size deg) for second-order
+models, i.e. Σ indeg·outdeg entries in total.
+
+Two samplers are provided:
+
+* :class:`FirstOrderAliasSampler` — one table per node over static
+  weights; also reused as the proposal sampler inside the rejection
+  family.
+* :class:`SecondOrderAliasSampler` — one table per state over *dynamic*
+  weights, built lazily at first visit (the expensive ``Ti`` of the
+  original node2vec implementation) or eagerly via :meth:`build_all`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplerError
+from repro.sampling.base import NO_EDGE, EdgeSampler
+from repro.sampling.memory_model import (
+    first_order_alias_bytes,
+    second_order_alias_bytes,
+)
+
+
+def build_alias_table(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vose's alias construction for unnormalised ``weights``.
+
+    Returns ``(threshold, alias)`` arrays of length d: draw a slot k
+    uniformly, then return k if a uniform draw falls below
+    ``threshold[k]``, else ``alias[k]``. All-zero weights raise
+    :class:`SamplerError` (no distribution to represent).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0:
+        raise SamplerError("alias table needs a non-empty 1-D weight array")
+    if np.any(w < 0):
+        raise SamplerError("alias table weights must be non-negative")
+    total = float(w.sum())
+    if total <= 0.0:
+        raise SamplerError("alias table weights must not all be zero")
+    d = w.size
+    scaled = w * (d / total)
+    threshold = np.ones(d, dtype=np.float64)
+    alias = np.arange(d, dtype=np.int64)
+    small = [int(i) for i in np.flatnonzero(scaled < 1.0)]
+    large = [int(i) for i in np.flatnonzero(scaled >= 1.0)]
+    while small and large:
+        s = small.pop()
+        g = large.pop()
+        threshold[s] = scaled[s]
+        alias[s] = g
+        scaled[g] = scaled[g] - (1.0 - scaled[s])
+        if scaled[g] < 1.0:
+            small.append(g)
+        else:
+            large.append(g)
+    # leftovers are numerically == 1
+    for i in small + large:
+        threshold[i] = 1.0
+        alias[i] = i
+    return threshold, alias
+
+
+class AliasTable:
+    """A single alias table supporting scalar and batch draws."""
+
+    __slots__ = ("threshold", "alias")
+
+    def __init__(self, weights: np.ndarray):
+        self.threshold, self.alias = build_alias_table(weights)
+
+    @property
+    def size(self) -> int:
+        """Number of outcomes."""
+        return self.threshold.size
+
+    def draw(self, rng: np.random.Generator) -> int:
+        """Draw one outcome index."""
+        k = int(rng.integers(0, self.size))
+        if rng.random() < self.threshold[k]:
+            return k
+        return int(self.alias[k])
+
+    def draw_batch(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` outcome indices at once."""
+        k = rng.integers(0, self.size, size=count)
+        keep = rng.random(count) < self.threshold[k]
+        return np.where(keep, k, self.alias[k])
+
+
+class FirstOrderAliasStore:
+    """Flat per-node alias tables over static edge weights.
+
+    Tables are stored contiguously, aligned with the CSR edge arrays, so a
+    batch draw for a vector of nodes is a pair of gathers. Unweighted
+    graphs skip the build entirely and sample neighbours uniformly.
+    """
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.uniform = not graph.is_weighted
+        if self.uniform:
+            self.threshold = None
+            self.alias = None
+            return
+        m = graph.num_edge_entries
+        # identity tables by default: zero-sum rows degrade to uniform
+        self.threshold = np.ones(m, dtype=np.float64)
+        self.alias = np.arange(m, dtype=np.int64)
+        offsets = graph.offsets
+        for v in range(graph.num_nodes):
+            lo, hi = int(offsets[v]), int(offsets[v + 1])
+            if hi == lo:
+                continue
+            row = graph.weights[lo:hi]
+            if row.sum() <= 0:
+                continue
+            t, a = build_alias_table(row)
+            self.threshold[lo:hi] = t
+            self.alias[lo:hi] = a + lo
+
+    def draw(self, v: int, rng: np.random.Generator) -> int:
+        """Draw a global edge offset for node ``v`` (NO_EDGE if isolated)."""
+        lo, hi = self.graph.edge_range(v)
+        d = hi - lo
+        if d == 0:
+            return NO_EDGE
+        k = lo + int(rng.integers(0, d))
+        if self.uniform:
+            return k
+        if rng.random() < self.threshold[k]:
+            return k
+        return int(self.alias[k])
+
+    def draw_batch(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorised :meth:`draw`; isolated nodes yield NO_EDGE."""
+        lo = self.graph.offsets[nodes]
+        deg = self.graph.offsets[nodes + 1] - lo
+        ok = deg > 0
+        k = lo + (rng.random(nodes.size) * np.maximum(deg, 1)).astype(np.int64)
+        if not self.uniform:
+            keep = rng.random(nodes.size) < self.threshold[np.minimum(k, self.threshold.size - 1)]
+            k = np.where(keep, k, self.alias[np.minimum(k, self.threshold.size - 1)])
+        return np.where(ok, k, NO_EDGE)
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the table arrays."""
+        if self.uniform:
+            return 0
+        return self.threshold.nbytes + self.alias.nbytes
+
+
+class FirstOrderAliasSampler(EdgeSampler):
+    """O(1) sampler over *static* weights (deepwalk's exact sampler).
+
+    Only valid for models whose dynamic weight equals the static weight
+    (first-order, untyped). The walk engine uses it for deepwalk's
+    UniNet(Orig) configuration.
+    """
+
+    name = "alias-first-order"
+
+    def __init__(self, graph, *, budget=None):
+        super().__init__()
+        if budget is not None:
+            budget.charge(first_order_alias_bytes(graph), self.name)
+        self.store = FirstOrderAliasStore(graph)
+
+    def sample(self, graph, model, state, rng: np.random.Generator) -> int:
+        self.stats.proposals += 1
+        off = self.store.draw(state.current, rng)
+        if off != NO_EDGE:
+            self.stats.samples += 1
+        return off
+
+    @classmethod
+    def memory_bytes(cls, graph, model) -> int:
+        return first_order_alias_bytes(graph)
+
+
+class SecondOrderAliasSampler(EdgeSampler):
+    """Per-state alias tables over dynamic weights (original node2vec).
+
+    Tables are built lazily on first visit of each state and cached for
+    the rest of the run; :meth:`build_all` materialises every state up
+    front (the original implementation's preprocessing step). Either way
+    the total footprint is Σ_states deg(current) entries — the memory
+    explosion the paper's Challenge 1 describes.
+    """
+
+    name = "alias"
+
+    def __init__(self, graph, model, *, budget=None):
+        super().__init__()
+        self._tables: dict[int, AliasTable | None] = {}
+        self._budget = budget
+        if budget is not None:
+            budget.charge(second_order_alias_bytes(graph, model), self.name)
+
+    def sample(self, graph, model, state, rng: np.random.Generator) -> int:
+        idx = model.state_index(graph, state)
+        table = self._tables.get(idx, _MISSING)
+        if table is _MISSING:
+            table = self._build(graph, model, state)
+            self._tables[idx] = table
+        self.stats.proposals += 1
+        if table is None:
+            return NO_EDGE
+        self.stats.samples += 1
+        lo, _ = graph.edge_range(state.current)
+        return lo + table.draw(rng)
+
+    def _build(self, graph, model, state):
+        self.stats.initializations += 1
+        weights = model.dynamic_weights_row(graph, state)
+        if weights.size == 0 or float(weights.sum()) <= 0.0:
+            return None
+        return AliasTable(weights)
+
+    @property
+    def num_cached_tables(self) -> int:
+        """Number of states whose table has been materialised."""
+        return len(self._tables)
+
+    def build_all(self, graph, model, states) -> None:
+        """Eagerly build tables for an iterable of states (preprocessing)."""
+        for state in states:
+            idx = model.state_index(graph, state)
+            if idx not in self._tables:
+                self._tables[idx] = self._build(graph, model, state)
+
+    @classmethod
+    def memory_bytes(cls, graph, model) -> int:
+        return second_order_alias_bytes(graph, model)
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

@@ -1,0 +1,44 @@
+"""Theory toolkit: convergence analysis of the M-H edge sampler.
+
+Implements the analytical side of the paper's Section III:
+
+* :mod:`repro.theory.distributions` — the parameterised target
+  distributions (n, t, π_max/π_min) of the Fig. 1 simulation study;
+* :mod:`repro.theory.convergence` — KL divergence, the geometric bound of
+  Theorem 1 and the κ coefficients of random vs high-weight
+  initialization (Appendix A);
+* :mod:`repro.theory.conditions` — Theorem 3's condition for high-weight
+  initialization to win, plus graph-level profiling (the paper's "97.1%
+  of BlogCatalog nodes satisfy condition (12)");
+* :mod:`repro.theory.fig1` — the simulation harness regenerating Fig. 1.
+"""
+
+from repro.theory.conditions import (
+    high_weight_preferred,
+    kappa_high_weight,
+    kappa_random,
+    profile_model_states,
+    theorem3_condition,
+)
+from repro.theory.convergence import (
+    empirical_distribution,
+    kl_divergence,
+    mh_chain_sample,
+    theorem1_bound,
+)
+from repro.theory.distributions import make_target_distribution
+from repro.theory.fig1 import fig1_simulation
+
+__all__ = [
+    "make_target_distribution",
+    "kl_divergence",
+    "mh_chain_sample",
+    "empirical_distribution",
+    "theorem1_bound",
+    "theorem3_condition",
+    "high_weight_preferred",
+    "kappa_random",
+    "kappa_high_weight",
+    "profile_model_states",
+    "fig1_simulation",
+]

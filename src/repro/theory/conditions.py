@@ -1,0 +1,101 @@
+"""Theorem 3: when does high-weight initialization beat random?
+
+Appendix A derives the κ coefficients of Eq. 8 for both strategies —
+
+    κ_h = max(1/(t·π_max) − 1, 1)         (high-weight start)
+    κ_r = max(1 − 1/(n·π_max), 1/(n·π_min) − 1)   (uniform start)
+
+— and Theorem 3 gives closed conditions for κ_h < κ_r:
+
+    π_max < 1/(2t)  and  π_max/π_min > n/t,    or
+    π_max ≥ 1/(2t)  and  π_min < 1/(2n).
+
+Both the exact κ comparison and the closed-form condition are provided
+(the test suite cross-checks them), plus a graph profiler reproducing the
+paper's measurement that ~97% of BlogCatalog's node2vec states satisfy
+the condition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.walks.state import WalkerState
+
+
+def kappa_high_weight(pi: np.ndarray) -> float:
+    """κ for a chain started at a (uniformly chosen) maximal element."""
+    pi = np.asarray(pi, dtype=np.float64)
+    p_max = float(pi.max())
+    t = int((pi == p_max).sum())
+    return max(1.0 / (t * p_max) - 1.0, 1.0)
+
+
+def kappa_random(pi: np.ndarray) -> float:
+    """κ for a uniformly initialised chain."""
+    pi = np.asarray(pi, dtype=np.float64)
+    n = pi.size
+    p_max = float(pi.max())
+    p_min = float(pi[pi > 0].min())
+    return max(1.0 - 1.0 / (n * p_max), 1.0 / (n * p_min) - 1.0)
+
+
+def theorem3_condition(p_max: float, p_min: float, n: int, t: int) -> bool:
+    """Eq. 12 — the closed-form test for high-weight being preferable."""
+    if p_max < 1.0 / (2 * t):
+        return p_max / p_min > n / t
+    return p_min < 1.0 / (2 * n)
+
+
+def high_weight_preferred(pi: np.ndarray) -> bool:
+    """Exact κ_h < κ_r comparison for a concrete distribution."""
+    return kappa_high_weight(pi) < kappa_random(pi)
+
+
+def profile_model_states(
+    graph,
+    model,
+    *,
+    num_states: int = 1000,
+    seed=None,
+) -> dict:
+    """Fraction of a model's transition distributions satisfying Eq. 12.
+
+    Samples realisable walker states, normalises their dynamic weights
+    into transition distributions and applies :func:`theorem3_condition`.
+    This is the measurement behind the paper's claim that 97.1% / 73.8% /
+    87.3% of BlogCatalog / Flickr / Reddit node2vec states prefer
+    high-weight initialization.
+    """
+    rng = as_rng(seed)
+    contexts = model.enumerate_state_contexts(graph)
+    valid = np.flatnonzero(contexts["valid"])
+    if valid.size == 0:
+        return {"fraction_satisfied": 0.0, "num_checked": 0}
+    chosen = rng.choice(valid, size=min(num_states, valid.size), replace=False)
+    satisfied = 0
+    checked = 0
+    for idx in chosen:
+        state = WalkerState(
+            current=int(contexts["cur"][idx]),
+            previous=int(contexts["prev"][idx]),
+            prev_edge_offset=int(contexts["prev_off"][idx]),
+            step=int(contexts["step"][idx]),
+        )
+        weights = model.dynamic_weights_row(graph, state)
+        total = float(weights.sum())
+        if total <= 0 or weights.size < 2:
+            continue
+        pi = weights / total
+        support = pi[pi > 0]
+        p_max = float(support.max())
+        p_min = float(support.min())
+        t = int((pi == p_max).sum())
+        checked += 1
+        if theorem3_condition(p_max, p_min, pi.size, t):
+            satisfied += 1
+    return {
+        "fraction_satisfied": satisfied / checked if checked else 0.0,
+        "num_checked": checked,
+    }

@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG handling, timers, validation."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timer import PhaseTimer, Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "Timer",
+    "PhaseTimer",
+    "check_positive",
+    "check_fraction",
+    "check_probability_vector",
+]

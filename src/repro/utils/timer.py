@@ -1,0 +1,81 @@
+"""Wall-clock timers for the pipeline phase decomposition of Table VI.
+
+The paper reports four phase costs per run: ``Ti`` (sampler
+initialisation), ``Tw`` (random-walk generation), ``Tl`` (embedding
+learning) and ``Tt`` (total). :class:`PhaseTimer` accumulates named phases
+and exposes them as a dict; :class:`Timer` is the single-span primitive.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+
+class Timer:
+    """Context manager measuring one wall-clock span in seconds."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time for named phases.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("walk"):
+            ...
+        timer.seconds("walk")   # elapsed seconds
+        timer.total()           # sum over all phases
+    """
+
+    def __init__(self):
+        self._elapsed = defaultdict(float)
+
+    def phase(self, name: str) -> "_PhaseSpan":
+        """Return a context manager adding its span to phase ``name``."""
+        return _PhaseSpan(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to phase ``name``."""
+        self._elapsed[name] += float(seconds)
+
+    def seconds(self, name: str) -> float:
+        """Elapsed seconds accumulated for ``name`` (0.0 if never timed)."""
+        return self._elapsed.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self._elapsed.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of phase durations, plus a ``total`` entry."""
+        out = dict(self._elapsed)
+        out["total"] = self.total()
+        return out
+
+
+class _PhaseSpan:
+    def __init__(self, owner: PhaseTimer, name: str):
+        self._owner = owner
+        self._name = name
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._owner.add(self._name, time.perf_counter() - self._start)
+        self._start = None

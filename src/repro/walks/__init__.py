@@ -1,0 +1,34 @@
+"""Random-walk generation: models, state management and walk engines.
+
+This package realises the paper's Section IV:
+
+* :mod:`repro.walks.models` — the unified random-walk model abstraction
+  (``calculate_weight`` / ``update_state``) and the five published models
+  of Table I.
+* :mod:`repro.walks.manager` — the flat chain store behind the 2D
+  (position, affixture) sampler layout of Fig. 4.
+* :mod:`repro.walks.engine` — a line-by-line scalar implementation of
+  Algorithm 2 (the validation reference).
+* :mod:`repro.walks.vectorized` — the production engine: all walkers of a
+  wave advance in lock-step numpy operations.
+* :mod:`repro.walks.corpus` — the generated walk corpus fed to word2vec.
+"""
+
+from repro.walks.corpus import WalkCorpus
+from repro.walks.engine import ReferenceWalkEngine
+from repro.walks.manager import ChainStore
+from repro.walks.models import MODELS, make_model
+from repro.walks.parallel import parallel_generate
+from repro.walks.state import WalkerState
+from repro.walks.vectorized import VectorizedWalkEngine
+
+__all__ = [
+    "WalkerState",
+    "ChainStore",
+    "WalkCorpus",
+    "ReferenceWalkEngine",
+    "VectorizedWalkEngine",
+    "MODELS",
+    "make_model",
+    "parallel_generate",
+]

@@ -1,0 +1,98 @@
+"""Segmented (ragged-array) primitives for the vectorized walk engine.
+
+A wave of walkers sits at nodes of wildly different degrees, so per-step
+row operations (exact sampling, row argmax) act on a *ragged* collection
+of CSR rows. These helpers flatten the active rows into one contiguous
+buffer and run the per-row reductions as O(total) vector passes —
+the numpy equivalent of the per-thread loops in the paper's C++ engine.
+
+Conventions: ``starts``/``lengths`` describe each walker's row (global CSR
+offset of its first edge, its degree). All functions tolerate zero-length
+segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten ``[starts_i, starts_i + lengths_i)`` ranges into one array.
+
+    Returns ``(flat_indices, segment_ids)`` where ``segment_ids[j]`` tells
+    which input segment produced ``flat_indices[j]``.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    seg_ids = np.repeat(np.arange(starts.size, dtype=np.int64), lengths)
+    seg_start_pos = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    within = np.arange(total, dtype=np.int64) - seg_start_pos[seg_ids]
+    return starts[seg_ids] + within, seg_ids
+
+
+def segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-segment sums of a flat buffer laid out by :func:`concat_ranges`."""
+    prefix = np.concatenate(([0.0], np.cumsum(values, dtype=np.float64)))
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    return prefix[ends] - prefix[starts]
+
+
+def segment_sample(values: np.ndarray, lengths: np.ndarray, rng) -> np.ndarray:
+    """Exact categorical draw within each segment, ∝ ``values``.
+
+    Returns the *within-segment* position of the draw per segment, or -1
+    for segments whose values sum to zero (or that are empty). This is the
+    vectorized direct sampler.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    num_segments = lengths.size
+    out = np.full(num_segments, -1, dtype=np.int64)
+    if values.size == 0:
+        return out
+    cdf = np.cumsum(values, dtype=np.float64)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    base = np.where(starts > 0, cdf[np.maximum(starts - 1, 0)], 0.0)
+    base[starts == 0] = 0.0
+    totals = cdf[np.maximum(ends - 1, 0)] - base
+    ok = (lengths > 0) & (totals > 0)
+    if not ok.any():
+        return out
+    targets = base[ok] + rng.random(int(ok.sum())) * totals[ok]
+    flat_pos = np.searchsorted(cdf, targets, side="right")
+    flat_pos = np.minimum(flat_pos, ends[ok] - 1)
+    flat_pos = np.maximum(flat_pos, starts[ok])
+    out[ok] = flat_pos - starts[ok]
+    return out
+
+
+def segment_argmax(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Within-segment argmax position per segment (-1 for empty segments)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    num_segments = lengths.size
+    out = np.full(num_segments, -1, dtype=np.int64)
+    if values.size == 0 or num_segments == 0:
+        return out
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return out
+    # reduceat needs strictly valid start indices; restrict to nonempty rows
+    ne_starts = starts[nonempty]
+    maxes = np.maximum.reduceat(values, ne_starts)
+    # tail segment of reduceat runs to the end of the buffer; that is fine
+    # because segments are contiguous and ordered.
+    seg_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
+    max_per_pos = np.empty(num_segments, dtype=np.float64)
+    max_per_pos[nonempty] = maxes
+    hits = values >= max_per_pos[seg_ids]
+    hit_pos = np.flatnonzero(hits)
+    hit_seg = seg_ids[hit_pos]
+    first_seg, first_idx = np.unique(hit_seg, return_index=True)
+    out[first_seg] = hit_pos[first_idx] - starts[first_seg]
+    return out

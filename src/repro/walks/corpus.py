@@ -1,0 +1,153 @@
+"""Walk corpus: the node sequences handed to the word2vec trainer.
+
+Walks are stored as one dense int64 matrix with -1 padding past each
+walk's end (walks can terminate early at dead ends), plus a length vector.
+This keeps a billion-token corpus cache-friendly and makes the word2vec
+vocabulary pass a single ``bincount``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WalkError
+
+
+class WalkCorpus:
+    """A set of random walks over node ids.
+
+    Parameters
+    ----------
+    walks:
+        int64 matrix ``(num_walks, max_len)``; row i holds walk i padded
+        with -1 after ``lengths[i]`` entries.
+    lengths:
+        number of valid nodes per walk (``1 <= lengths[i] <= max_len``).
+    """
+
+    def __init__(self, walks: np.ndarray, lengths: np.ndarray):
+        self.walks = np.ascontiguousarray(walks, dtype=np.int64)
+        self.lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        if self.walks.ndim != 2:
+            raise WalkError("walks must be a 2-D matrix")
+        if self.lengths.shape != (self.walks.shape[0],):
+            raise WalkError("lengths must have one entry per walk")
+        if self.walks.shape[0] and (
+            self.lengths.min() < 1 or self.lengths.max() > self.walks.shape[1]
+        ):
+            raise WalkError("walk lengths out of range")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_lists(cls, sequences) -> "WalkCorpus":
+        """Build from an iterable of node-id sequences."""
+        seqs = [np.asarray(s, dtype=np.int64) for s in sequences]
+        if not seqs:
+            return cls(np.empty((0, 1), dtype=np.int64), np.empty(0, dtype=np.int64))
+        max_len = max(s.size for s in seqs)
+        walks = np.full((len(seqs), max_len), -1, dtype=np.int64)
+        lengths = np.empty(len(seqs), dtype=np.int64)
+        for i, s in enumerate(seqs):
+            walks[i, : s.size] = s
+            lengths[i] = s.size
+        return cls(walks, lengths)
+
+    @classmethod
+    def merge(cls, corpora) -> "WalkCorpus":
+        """Concatenate several corpora (walk order preserved)."""
+        corpora = list(corpora)
+        if not corpora:
+            return cls(np.empty((0, 1), dtype=np.int64), np.empty(0, dtype=np.int64))
+        max_len = max(c.walks.shape[1] for c in corpora)
+        total = sum(c.num_walks for c in corpora)
+        walks = np.full((total, max_len), -1, dtype=np.int64)
+        lengths = np.empty(total, dtype=np.int64)
+        row = 0
+        for c in corpora:
+            walks[row : row + c.num_walks, : c.walks.shape[1]] = c.walks
+            lengths[row : row + c.num_walks] = c.lengths
+            row += c.num_walks
+        return cls(walks, lengths)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_walks(self) -> int:
+        """Number of walks."""
+        return self.walks.shape[0]
+
+    @property
+    def token_count(self) -> int:
+        """Total number of node occurrences across all walks."""
+        return int(self.lengths.sum())
+
+    def iter_walks(self):
+        """Yield each walk as a trimmed int64 array."""
+        for i in range(self.num_walks):
+            yield self.walks[i, : self.lengths[i]]
+
+    def node_frequencies(self, num_nodes: int) -> np.ndarray:
+        """Occurrences of each node id across the corpus."""
+        flat = self.walks[self.walks >= 0]
+        return np.bincount(flat, minlength=num_nodes)
+
+    def nodes_visited(self) -> np.ndarray:
+        """Sorted unique node ids appearing in the corpus."""
+        return np.unique(self.walks[self.walks >= 0])
+
+    def statistics(self) -> dict:
+        """Corpus summary: walk counts, length distribution, node coverage."""
+        if self.num_walks == 0:
+            return {
+                "num_walks": 0,
+                "token_count": 0,
+                "mean_length": 0.0,
+                "min_length": 0,
+                "max_length": 0,
+                "truncated_walks": 0,
+                "distinct_nodes": 0,
+            }
+        return {
+            "num_walks": self.num_walks,
+            "token_count": self.token_count,
+            "mean_length": float(self.lengths.mean()),
+            "min_length": int(self.lengths.min()),
+            "max_length": int(self.lengths.max()),
+            "truncated_walks": int((self.lengths < self.walks.shape[1]).sum()),
+            "distinct_nodes": int(self.nodes_visited().size),
+        }
+
+    # ------------------------------------------------------------------
+    def save_npz(self, path) -> None:
+        """Persist to a compressed ``.npz``."""
+        np.savez_compressed(path, walks=self.walks, lengths=self.lengths)
+
+    @classmethod
+    def load_npz(cls, path) -> "WalkCorpus":
+        """Load a corpus stored by :meth:`save_npz`."""
+        with np.load(path) as data:
+            return cls(data["walks"], data["lengths"])
+
+    def save_text(self, path) -> None:
+        """Write one space-separated walk per line (external word2vec
+        tools consume exactly this format)."""
+        with open(path, "w") as handle:
+            for walk in self.iter_walks():
+                handle.write(" ".join(map(str, walk.tolist())))
+                handle.write("\n")
+
+    @classmethod
+    def load_text(cls, path) -> "WalkCorpus":
+        """Load a corpus written by :meth:`save_text`."""
+        sequences = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    sequences.append([int(tok) for tok in line.split()])
+        return cls.from_lists(sequences)
+
+    def __len__(self) -> int:
+        return self.num_walks
+
+    def __repr__(self) -> str:
+        return f"WalkCorpus(num_walks={self.num_walks}, tokens={self.token_count})"

@@ -1,0 +1,143 @@
+"""Reference walk engine — a scalar transliteration of Algorithm 2.
+
+This engine exists for *validation*: it walks one step at a time through
+exactly the paper's control flow (get walker, query sampler by state,
+sample, update state), so its output distribution is easy to reason about
+and the test suite uses it as ground truth for the vectorized engine. For
+production workloads use :class:`~repro.walks.vectorized.VectorizedWalkEngine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WalkError
+from repro.sampling.alias import SecondOrderAliasSampler
+from repro.sampling.base import NO_EDGE, EdgeSampler, draw_from_weights
+from repro.sampling.direct import DirectSampler
+from repro.sampling.knightking import KnightKingSampler
+from repro.sampling.memory_aware import MemoryAwareSampler
+from repro.sampling.metropolis import MetropolisHastingsSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.utils.rng import as_rng
+from repro.walks.corpus import WalkCorpus
+from repro.walks.models import make_model
+
+
+def _make_scalar_sampler(name, graph, model, *, initializer, table_budget_bytes, budget):
+    key = str(name).lower()
+    if key in ("mh", "metropolis-hastings"):
+        return MetropolisHastingsSampler(graph, model, initializer=initializer, budget=budget)
+    if key == "direct":
+        return DirectSampler()
+    if key == "alias":
+        return SecondOrderAliasSampler(graph, model, budget=budget)
+    if key == "rejection":
+        return RejectionSampler(graph, budget=budget)
+    if key == "knightking":
+        return KnightKingSampler(graph, budget=budget)
+    if key == "memory-aware":
+        if table_budget_bytes is None:
+            raise WalkError("memory-aware sampling needs table_budget_bytes")
+        return MemoryAwareSampler(
+            graph, model, table_budget_bytes=table_budget_bytes, budget=budget
+        )
+    raise WalkError(f"unknown sampler {name!r}")
+
+
+class ReferenceWalkEngine:
+    """Algorithm 2, one walker at a time.
+
+    Parameters
+    ----------
+    graph:
+        CSR network.
+    model:
+        A bound :class:`~repro.walks.models.base.RandomWalkModel` or a
+        registry name (extra ``model_params`` are forwarded).
+    sampler:
+        An :class:`~repro.sampling.base.EdgeSampler` instance or one of
+        ``"mh"`` (default), ``"direct"``, ``"alias"``, ``"rejection"``,
+        ``"knightking"``, ``"memory-aware"``.
+    initializer:
+        M-H initialization strategy (ignored by other samplers).
+    seed:
+        Seed for the engine's generator.
+    """
+
+    def __init__(
+        self,
+        graph,
+        model,
+        sampler="mh",
+        *,
+        initializer="high-weight",
+        table_budget_bytes=None,
+        budget=None,
+        seed=None,
+        **model_params,
+    ):
+        self.graph = graph
+        self.model = make_model(model, graph, **model_params)
+        if isinstance(sampler, EdgeSampler):
+            self.sampler = sampler
+        else:
+            self.sampler = _make_scalar_sampler(
+                sampler,
+                graph,
+                self.model,
+                initializer=initializer,
+                table_budget_bytes=table_budget_bytes,
+                budget=budget,
+            )
+        self.rng = as_rng(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, num_walks: int = 10, walk_length: int = 80, start_nodes=None) -> WalkCorpus:
+        """Create ``num_walks`` walks of ``walk_length`` nodes per start.
+
+        ``walk_length`` counts *nodes* (the paper's "sequences of length
+        80"), so each walk takes at most ``walk_length - 1`` steps. Walks
+        start at every valid start node by default and may end early at
+        dead ends.
+        """
+        if num_walks < 1 or walk_length < 1:
+            raise WalkError("num_walks and walk_length must be >= 1")
+        if start_nodes is None:
+            starts = self.model.valid_start_nodes()
+        else:
+            starts = np.asarray(start_nodes, dtype=np.int64)
+        sequences = []
+        for __ in range(num_walks):
+            for v in starts:
+                sequences.append(self.walk(int(v), walk_length))
+        return WalkCorpus.from_lists(sequences)
+
+    def walk(self, start: int, walk_length: int) -> list[int]:
+        """One walk from ``start``; the inner loop of Algorithm 2."""
+        graph, model, sampler, rng = self.graph, self.model, self.sampler, self.rng
+        state = model.initial_state(start)
+        sequence = [start]
+        for __ in range(walk_length - 1):
+            if model.order == 2 and state.at_start:
+                off = self._first_step(state, rng)
+            else:
+                off = sampler.sample(graph, model, state, rng)
+            if off == NO_EDGE:
+                break
+            sequence.append(int(graph.targets[off]))
+            state = model.update_state(state, off)
+        return sequence
+
+    def _first_step(self, state, rng) -> int:
+        """Second-order models take step 0 from the model's start-state law.
+
+        The models define α = 1 without a previous edge, so this is the
+        static distribution for node2vec/edge2vec but keeps fairwalk's
+        group discounting.
+        """
+        weights = self.model.dynamic_weights_row(self.graph, state)
+        pos = draw_from_weights(weights, rng)
+        if pos == NO_EDGE:
+            return NO_EDGE
+        return int(self.graph.offsets[state.current]) + pos

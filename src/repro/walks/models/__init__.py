@@ -1,0 +1,52 @@
+"""The unified random-walk model abstraction and the five Table I models.
+
+A model is defined by two callbacks (paper Fig. 3):
+``calculate_weight(state, edge)`` — the dynamic edge weight w' that fixes
+the unnormalised transition distribution — and ``update_state(state,
+edge)``. Everything else (state indexing, rejection bounds, vectorized
+kernels) is derived support machinery declared on
+:class:`~repro.walks.models.base.RandomWalkModel`.
+"""
+
+from repro.errors import ModelError
+from repro.walks.models.base import RandomWalkModel
+from repro.walks.models.deepwalk import DeepWalk
+from repro.walks.models.edge2vec import Edge2Vec
+from repro.walks.models.fairwalk import FairWalk
+from repro.walks.models.metapath2vec import MetaPath2Vec
+from repro.walks.models.node2vec import Node2Vec
+
+MODELS = {
+    "deepwalk": DeepWalk,
+    "node2vec": Node2Vec,
+    "metapath2vec": MetaPath2Vec,
+    "edge2vec": Edge2Vec,
+    "fairwalk": FairWalk,
+}
+
+__all__ = [
+    "RandomWalkModel",
+    "DeepWalk",
+    "Node2Vec",
+    "MetaPath2Vec",
+    "Edge2Vec",
+    "FairWalk",
+    "MODELS",
+    "make_model",
+]
+
+
+def make_model(name, graph, **params) -> RandomWalkModel:
+    """Instantiate a model by registry name, bound to ``graph``.
+
+    >>> from repro.graph.generators import cycle_graph
+    >>> model = make_model("node2vec", cycle_graph(5), p=0.25, q=4.0)
+    >>> model.name
+    'node2vec'
+    """
+    if isinstance(name, RandomWalkModel):
+        return name
+    key = str(name).lower()
+    if key not in MODELS:
+        raise ModelError(f"unknown model {name!r}; available: {sorted(MODELS)}")
+    return MODELS[key](graph, **params)

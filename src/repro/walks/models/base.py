@@ -1,0 +1,209 @@
+"""Base class of the unified random-walk model abstraction (Section IV-B).
+
+To define a model a user implements two methods — exactly the interface of
+the paper's Fig. 3:
+
+* :meth:`RandomWalkModel.calculate_weight` — the *dynamic edge weight*
+  w'_x(e) given the walker state, which fixes the unnormalised transition
+  distribution G_x(u) = w'_xu / Σ_k w'_xk;
+* :meth:`RandomWalkModel.update_state` — how the state evolves after
+  traversing an edge (a default covering all five published models is
+  provided).
+
+Everything else on this class is derived support machinery with sensible
+defaults: state indexing for the 2D sampler layout, rejection-sampling
+bounds, alias-table sizing, and the vectorized kernels used by the
+lock-step engine. Models are *bound to a graph at construction* so they
+may precompute lookup tables (e.g. fairwalk's per-node type counts).
+
+Subclasses set ``order`` (1 = distribution depends only on the current
+node [+ metapath position], 2 = on the previous edge) and may override any
+derived method for efficiency.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.walks.state import NO_PREVIOUS, WalkerState
+
+
+class RandomWalkModel(abc.ABC):
+    """A random-walk model bound to a graph.
+
+    Attributes
+    ----------
+    name: registry name of the model.
+    order: 1 for first-order models, 2 when transitions depend on the
+        previous edge.
+    requires_node_types: True for heterogeneous models.
+    """
+
+    name = "abstract"
+    order = 1
+    requires_node_types = False
+    #: True when dynamic weights always equal static weights (deepwalk),
+    #: which makes per-node static samplers exact for this model.
+    is_static = False
+
+    def __init__(self, graph):
+        if self.requires_node_types and not graph.is_heterogeneous:
+            raise ModelError(f"{self.name} requires a typed (heterogeneous) graph")
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # the unified abstraction (user-facing, paper Fig. 3)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def calculate_weight(self, state: WalkerState, edge_offset: int) -> float:
+        """Dynamic edge weight w'_x(e) of the edge entry at ``edge_offset``."""
+
+    def update_state(self, state: WalkerState, edge_offset: int) -> WalkerState:
+        """State after traversing ``edge_offset`` (default: shift window)."""
+        return state.advanced(self.graph, edge_offset)
+
+    # ------------------------------------------------------------------
+    # walk lifecycle
+    # ------------------------------------------------------------------
+    def initial_state(self, start: int) -> WalkerState:
+        """State of a fresh walker at node ``start``."""
+        return WalkerState(current=int(start))
+
+    def valid_start_nodes(self) -> np.ndarray:
+        """Nodes walks may start from (metapath models restrict this)."""
+        return np.arange(self.graph.num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # sampler support (scalar)
+    # ------------------------------------------------------------------
+    def dynamic_weight(self, graph, state, edge_offset: int) -> float:
+        """Sampler-protocol alias for :meth:`calculate_weight`."""
+        return self.calculate_weight(state, edge_offset)
+
+    def dynamic_weights_row(self, graph, state) -> np.ndarray:
+        """w'_x for all out-edges of the state's current node.
+
+        The default evaluates the batch kernel on the whole row; models
+        with cheaper row formulas may override.
+        """
+        lo, hi = self.graph.edge_range(state.current)
+        offsets = np.arange(lo, hi, dtype=np.int64)
+        if offsets.size == 0:
+            return np.empty(0, dtype=np.float64)
+        prev = np.full(offsets.size, state.previous, dtype=np.int64)
+        prev_off = np.full(offsets.size, state.prev_edge_offset, dtype=np.int64)
+        cur = np.full(offsets.size, state.current, dtype=np.int64)
+        step = np.full(offsets.size, state.step, dtype=np.int64)
+        return self.batch_dynamic_weight(prev, prev_off, cur, step, offsets)
+
+    def state_index(self, graph, state) -> int:
+        """Flat index of ``state`` in [0, state_space_size).
+
+        Default layouts: first-order models index by current node;
+        second-order models index by the *taken* directed edge entry
+        (the transpose of Fig. 4's bucket layout — same size, same O(1)
+        lookup, no extra binary search). Second-order states before the
+        first step have no previous edge and are never indexed — the walk
+        engine resolves the first step from the static distribution.
+        """
+        if self.order == 1:
+            return int(state.current)
+        if state.prev_edge_offset == NO_PREVIOUS:
+            raise ModelError(
+                f"{self.name}: start states have no chain index; the engine "
+                "must take the first step from the static distribution"
+            )
+        return int(state.prev_edge_offset)
+
+    def state_space_size(self, graph) -> int:
+        """#state (Table I): |V| for first-order, |E| for second-order."""
+        if self.order == 1:
+            return self.graph.num_nodes
+        return self.graph.num_edge_entries
+
+    def state_table_degrees(self, graph) -> np.ndarray:
+        """Alias-table size (current node's degree) per flat state index."""
+        degrees = self.graph.degrees()
+        if self.order == 1:
+            return degrees
+        # state = directed edge entry (s -> v); its table covers N(v)
+        return degrees[self.graph.targets]
+
+    def alias_entries(self, graph) -> int:
+        """Total alias-table entries across all states (Σ table degrees)."""
+        return int(self.state_table_degrees(graph).sum())
+
+    # ------------------------------------------------------------------
+    # rejection-sampling support
+    # ------------------------------------------------------------------
+    def alpha_bound(self, graph) -> float:
+        """Upper bound on w'(e) / w(e) over all states and edges."""
+        return 1.0
+
+    def fold_outliers(self, graph, state):
+        """Enumerable outliers for KnightKing folding, or None.
+
+        Returns ``(outlier_edge_offsets, bulk_bound)`` where the bulk
+        bound covers every non-outlier edge. ``None`` means folding is
+        not applicable (the default; see the KnightKing sampler notes).
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # vectorized kernels (lock-step engine)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def batch_dynamic_weight(
+        self,
+        prev: np.ndarray,
+        prev_off: np.ndarray,
+        cur: np.ndarray,
+        step: np.ndarray,
+        edge_offsets: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`calculate_weight`.
+
+        All arrays are aligned per query: walker context (previous node,
+        previous edge offset, current node, step count) and the candidate
+        edge entry. Returns float64 dynamic weights.
+        """
+
+    def batch_state_index(self, prev_off: np.ndarray, cur: np.ndarray, step: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`state_index`."""
+        if self.order == 1:
+            return cur.astype(np.int64, copy=True)
+        return prev_off.astype(np.int64, copy=True)
+
+    def enumerate_state_contexts(self, graph) -> dict[str, np.ndarray]:
+        """Walker contexts for every flat state index (for eager tables).
+
+        Used by samplers that materialise one structure per state (alias,
+        memory-aware). Returns aligned arrays ``prev``, ``prev_off``,
+        ``cur``, ``step`` plus a ``valid`` mask of states that can be
+        realised by an actual walker.
+        """
+        if self.order == 1:
+            n = self.graph.num_nodes
+            return {
+                "prev": np.full(n, NO_PREVIOUS, dtype=np.int64),
+                "prev_off": np.full(n, NO_PREVIOUS, dtype=np.int64),
+                "cur": np.arange(n, dtype=np.int64),
+                "step": np.zeros(n, dtype=np.int64),
+                "valid": self.graph.degrees() > 0,
+            }
+        m = self.graph.num_edge_entries
+        cur = self.graph.targets.astype(np.int64)
+        return {
+            "prev": self.graph.edge_sources(),
+            "prev_off": np.arange(m, dtype=np.int64),
+            "cur": cur,
+            "step": np.ones(m, dtype=np.int64),
+            "valid": self.graph.degrees()[cur] > 0,
+        }
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(graph={self.graph!r})"

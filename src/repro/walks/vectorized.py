@@ -1,0 +1,714 @@
+"""Vectorized walk engine: all walkers of a wave advance in lock-step.
+
+The paper's C++ engine parallelises Algorithm 2 by assigning walkers to 16
+threads; the Python answer is data parallelism — one wave starts a walker
+at every start node and each walk step is a handful of numpy passes over
+the active walkers. Per-step work per sampler preserves the paper's
+asymptotics:
+
+* **M-H**: O(1) per walker (plus the model's weight evaluation, e.g.
+  node2vec's O(log deg) adjacency probe) — Algorithm 1 on arrays.
+* **direct**: O(deg) per walker — flatten active rows, exact segmented
+  categorical draw.
+* **alias**: O(1) gathers into eagerly built per-state tables (whose
+  construction is the large ``Ti`` the paper reports for UniNet(Orig)).
+* **rejection / KnightKing**: geometric retry loop with, respectively, a
+  global or a folded bulk acceptance bound.
+* **memory-aware**: alias gathers where the budget allowed a table,
+  rejection sampling elsewhere.
+
+Chains, tables and assignments persist across waves, exactly like the
+paper's sampler manager. Races between same-state walkers within one wave
+resolve last-writer-wins, mirroring the benign races of the threaded
+original.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import WalkError
+from repro.sampling.alias import FirstOrderAliasStore, build_alias_table
+from repro.sampling.base import NO_EDGE
+from repro.sampling.memory_aware import assign_states_greedily
+from repro.sampling.memory_model import (
+    first_order_alias_bytes,
+    mh_bytes,
+    rejection_bytes,
+    second_order_alias_bytes,
+)
+from repro.utils.rng import as_rng
+from repro.walks._segments import concat_ranges, segment_argmax, segment_sample
+from repro.walks.corpus import WalkCorpus
+from repro.walks.manager import ChainStore
+from repro.walks.models import make_model
+
+_INIT_STRATEGIES = ("random", "high-weight", "weight", "burn-in", "burnin")
+
+
+class _StepperBase:
+    """Shared bookkeeping for vectorized per-step samplers."""
+
+    name = "abstract"
+
+    def __init__(self, graph, model):
+        self.graph = graph
+        self.model = model
+        self.samples = 0
+        self.proposals = 0
+        self.accepts = 0
+        self.initializations = 0
+        self.init_seconds = 0.0
+
+    # helpers ----------------------------------------------------------
+    def _rows(self, cur):
+        lo = self.graph.offsets[cur]
+        deg = self.graph.offsets[cur + 1] - lo
+        return lo, deg
+
+    def _expanded_row_weights(self, prev, prev_off, cur, step, rng=None):
+        """Flatten the active walkers' rows and evaluate dynamic weights."""
+        lo, deg = self._rows(cur)
+        flat_offs, seg = concat_ranges(lo, deg)
+        if flat_offs.size == 0:
+            return flat_offs, seg, deg, np.empty(0, dtype=np.float64)
+        step_arr = step[seg] if isinstance(step, np.ndarray) else step
+        weights = self.model.batch_dynamic_weight(
+            prev[seg], prev_off[seg], cur[seg], step_arr, flat_offs
+        )
+        return flat_offs, seg, deg, weights
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the stepper's persistent structures."""
+        return 0
+
+    def stats(self) -> dict:
+        """Counter snapshot (basis of the acceptance-ratio tables)."""
+        return {
+            "samples": self.samples,
+            "proposals": self.proposals,
+            "accepts": self.accepts,
+            "initializations": self.initializations,
+            "init_seconds": self.init_seconds,
+            "acceptance_ratio": (self.samples / self.proposals) if self.proposals else 1.0,
+        }
+
+
+class _DirectStepper(_StepperBase):
+    """Exact O(deg)-per-walker sampling (vectorized direct sampler)."""
+
+    name = "direct"
+
+    def step(self, prev, prev_off, cur, step, rng):
+        lo, deg = self._rows(cur)
+        __, ___, ____, weights = self._expanded_row_weights(prev, prev_off, cur, step)
+        pos = segment_sample(weights, deg, rng)
+        self.proposals += cur.size
+        out = np.where(pos >= 0, lo + pos, NO_EDGE)
+        self.samples += int((out != NO_EDGE).sum())
+        return out
+
+
+class _FirstOrderAliasStepper(_StepperBase):
+    """Per-node static alias tables — exact only for static models."""
+
+    name = "alias-first-order"
+
+    def __init__(self, graph, model, budget=None):
+        super().__init__(graph, model)
+        if not model.is_static:
+            raise WalkError(
+                f"first-order alias sampling is exact only for static models; "
+                f"{model.name} has state-dependent weights (use sampler='alias')"
+            )
+        if budget is not None:
+            budget.charge(first_order_alias_bytes(graph), self.name)
+        self.store = FirstOrderAliasStore(graph)
+
+    def step(self, prev, prev_off, cur, step, rng):
+        out = self.store.draw_batch(cur, rng)
+        self.proposals += cur.size
+        self.samples += int((out != NO_EDGE).sum())
+        return out
+
+    def memory_bytes(self) -> int:
+        return self.store.memory_bytes()
+
+
+class EagerStateAliasTables:
+    """Flat per-state alias tables over dynamic weights.
+
+    One table per (valid, optionally masked) state, stored back-to-back:
+    ``base[idx]`` points at state idx's slots, each slot holding a
+    threshold and a *local* alias position. Construction walks every
+    state once (the realistic preprocessing cost of alias-based second-
+    order sampling); draws are two gathers.
+    """
+
+    def __init__(self, graph, model, state_mask=None):
+        self.graph = graph
+        contexts = model.enumerate_state_contexts(graph)
+        table_deg = model.state_table_degrees(graph).astype(np.int64).copy()
+        valid = contexts["valid"].copy()
+        if state_mask is not None:
+            valid &= state_mask
+        table_deg[~valid] = 0
+        self.table_deg = table_deg
+        self.base = np.concatenate(([0], np.cumsum(table_deg)))
+        total = int(self.base[-1])
+        self.threshold = np.ones(total, dtype=np.float64)
+        self.alias_local = np.zeros(total, dtype=np.int64)
+        self.has_table = np.zeros(valid.size, dtype=bool)
+
+        valid_idx = np.flatnonzero(valid)
+        if valid_idx.size == 0:
+            return
+        cur = contexts["cur"][valid_idx]
+        row_lo = graph.offsets[cur]
+        deg = table_deg[valid_idx]
+        flat_offs, seg = concat_ranges(row_lo, deg)
+        weights = model.batch_dynamic_weight(
+            contexts["prev"][valid_idx][seg],
+            contexts["prev_off"][valid_idx][seg],
+            cur[seg],
+            contexts["step"][valid_idx][seg],
+            flat_offs,
+        )
+        cursor = 0
+        for j, idx in enumerate(valid_idx):
+            d = int(deg[j])
+            row_w = weights[cursor : cursor + d]
+            cursor += d
+            if float(row_w.sum()) <= 0.0:
+                continue
+            t, a = build_alias_table(row_w)
+            b = int(self.base[idx])
+            self.threshold[b : b + d] = t
+            self.alias_local[b : b + d] = a
+            self.has_table[idx] = True
+
+    @property
+    def num_tables(self) -> int:
+        """Number of materialised tables."""
+        return int(self.has_table.sum())
+
+    def draw(self, state_idx, cur, rng):
+        """Draw edge offsets for walkers; NO_EDGE where no table exists."""
+        deg = self.table_deg[state_idx]
+        k = (rng.random(state_idx.size) * np.maximum(deg, 1)).astype(np.int64)
+        slot = self.base[state_idx] + k
+        slot = np.minimum(slot, max(self.threshold.size - 1, 0))
+        keep = rng.random(state_idx.size) < self.threshold[slot]
+        pos = np.where(keep, k, self.alias_local[slot])
+        lo = self.graph.offsets[cur]
+        return np.where(self.has_table[state_idx], lo + pos, NO_EDGE)
+
+    def memory_bytes(self) -> int:
+        """Resident table bytes (the alias explosion of Table VII)."""
+        return self.threshold.nbytes + self.alias_local.nbytes
+
+
+class _StateAliasStepper(_StepperBase):
+    """Eager per-state alias tables (UniNet(Orig) for node2vec)."""
+
+    name = "alias"
+
+    def __init__(self, graph, model, budget=None):
+        super().__init__(graph, model)
+        if budget is not None:
+            budget.charge(second_order_alias_bytes(graph, model), self.name)
+        self.tables = EagerStateAliasTables(graph, model)
+        self.initializations += self.tables.num_tables
+
+    def step(self, prev, prev_off, cur, step, rng):
+        idx = self.model.batch_state_index(prev_off, cur, step)
+        out = self.tables.draw(idx, cur, rng)
+        self.proposals += cur.size
+        self.samples += int((out != NO_EDGE).sum())
+        return out
+
+    def memory_bytes(self) -> int:
+        return self.tables.memory_bytes()
+
+
+class _MemoryAwareStepper(_StepperBase):
+    """Static greedy alias assignment under a budget; rejection elsewhere.
+
+    The SIGMOD'20 framework assigns *sampling methods* per state within
+    the budget: O(1) alias tables for the states that fit, and a
+    memory-free method for the rest. The fallback must not be O(deg) —
+    walkers concentrate on hubs (stationary mass ∝ degree), so a direct
+    fallback would expand millions of row entries per step on skewed
+    graphs. Rejection over the static-weight proposal keeps the fallback
+    O(1/θ) per walker, which is what lets the memory-aware sampler
+    finish (if slowly) on the billion-edge networks of Table VII.
+    """
+
+    name = "memory-aware"
+
+    def __init__(self, graph, model, table_budget_bytes, *, max_rounds: int = 10_000, budget=None):
+        super().__init__(graph, model)
+        if budget is not None:
+            budget.charge(int(table_budget_bytes), self.name)
+        self.assigned = assign_states_greedily(graph, model, table_budget_bytes)
+        self.tables = EagerStateAliasTables(graph, model, state_mask=self.assigned)
+        self.initializations += self.tables.num_tables
+        self.proposal = FirstOrderAliasStore(graph)
+        self.max_rounds = max_rounds
+
+    def step(self, prev, prev_off, cur, step, rng):
+        idx = self.model.batch_state_index(prev_off, cur, step)
+        out = self.tables.draw(idx, cur, rng)
+        self.proposals += cur.size
+        # everything without a table (unassigned or zero-weight state)
+        # falls back to rejection sampling
+        pending = np.flatnonzero(~self.tables.has_table[idx])
+        if pending.size:
+            out[pending] = NO_EDGE
+            bound = self.model.alpha_bound(self.graph)
+            deg = self.graph.offsets[cur + 1] - self.graph.offsets[cur]
+            pending = pending[deg[pending] > 0]
+            for __ in range(self.max_rounds):
+                if pending.size == 0:
+                    break
+                off = self.proposal.draw_batch(cur[pending], rng)
+                w_static = np.asarray(
+                    self.graph.edge_weight_at(np.maximum(off, 0)), dtype=np.float64
+                )
+                step_arr = step[pending] if isinstance(step, np.ndarray) else step
+                w_dyn = self.model.batch_dynamic_weight(
+                    prev[pending], prev_off[pending], cur[pending], step_arr,
+                    np.maximum(off, 0),
+                )
+                accept = (off >= 0) & (rng.random(pending.size) * bound * w_static < w_dyn)
+                out[pending[accept]] = off[accept]
+                pending = pending[~accept]
+        self.samples += int((out != NO_EDGE).sum())
+        return out
+
+    def memory_bytes(self) -> int:
+        return self.tables.memory_bytes() + self.proposal.memory_bytes()
+
+
+class _RejectionStepper(_StepperBase):
+    """Vectorized rejection sampling, optionally with outlier folding."""
+
+    def __init__(self, graph, model, *, fold: bool, max_rounds: int = 10_000, budget=None):
+        super().__init__(graph, model)
+        self.name = "knightking" if fold else "rejection"
+        if budget is not None:
+            budget.charge(rejection_bytes(graph), self.name)
+        self.proposal = FirstOrderAliasStore(graph)
+        self.max_rounds = max_rounds
+        self.fold = (
+            fold
+            and getattr(model, "supports_folding", False)
+            and hasattr(model, "batch_outlier_excess")
+        )
+        self.row_totals = graph.weight_row_sums() if self.fold else None
+
+    def step(self, prev, prev_off, cur, step, rng):
+        out = np.full(cur.size, NO_EDGE, dtype=np.int64)
+        __, deg = self._rows(cur)
+        pending = np.flatnonzero(deg > 0)
+        if pending.size == 0:
+            return out
+        if self.fold:
+            self._step_folded(out, pending, prev, prev_off, cur, step, rng)
+        else:
+            self._step_plain(out, pending, prev, prev_off, cur, step, rng)
+        self.samples += int((out != NO_EDGE).sum())
+        return out
+
+    def _step_plain(self, out, pending, prev, prev_off, cur, step, rng):
+        bound = self.model.alpha_bound(self.graph)
+        for __ in range(self.max_rounds):
+            if pending.size == 0:
+                return
+            off = self.proposal.draw_batch(cur[pending], rng)
+            self.proposals += pending.size
+            w_static = np.asarray(self.graph.edge_weight_at(np.maximum(off, 0)), dtype=np.float64)
+            step_arr = step[pending] if isinstance(step, np.ndarray) else step
+            w_dyn = self.model.batch_dynamic_weight(
+                prev[pending], prev_off[pending], cur[pending], step_arr, np.maximum(off, 0)
+            )
+            accept = (off >= 0) & (rng.random(pending.size) * bound * w_static < w_dyn)
+            out[pending[accept]] = off[accept]
+            pending = pending[~accept]
+
+    def _step_folded(self, out, pending, prev, prev_off, cur, step, rng):
+        bulk = self.model.bulk_bound
+        rev, excess = self.model.batch_outlier_excess(prev, cur)
+        envelope = bulk * self.row_totals[cur]
+        total = excess + envelope
+        alive = total[pending] > 0
+        pending = pending[alive]
+        for __ in range(self.max_rounds):
+            if pending.size == 0:
+                return
+            self.proposals += pending.size
+            r = rng.random(pending.size) * total[pending]
+            hit_outlier = r < excess[pending]
+            chosen_out = pending[hit_outlier]
+            out[chosen_out] = rev[chosen_out]  # exact excess-mass branch
+            bulk_pending = pending[~hit_outlier]
+            if bulk_pending.size == 0:
+                pending = bulk_pending
+                continue
+            off = self.proposal.draw_batch(cur[bulk_pending], rng)
+            w_static = np.asarray(self.graph.edge_weight_at(np.maximum(off, 0)), dtype=np.float64)
+            step_arr = step[bulk_pending] if isinstance(step, np.ndarray) else step
+            w_dyn = self.model.batch_dynamic_weight(
+                prev[bulk_pending],
+                prev_off[bulk_pending],
+                cur[bulk_pending],
+                step_arr,
+                np.maximum(off, 0),
+            )
+            clipped = np.minimum(w_dyn, bulk * w_static)
+            accept = (off >= 0) & (rng.random(bulk_pending.size) * bulk * w_static < clipped)
+            out[bulk_pending[accept]] = off[accept]
+            pending = bulk_pending[~accept]
+
+    def memory_bytes(self) -> int:
+        return self.proposal.memory_bytes()
+
+
+class _MHStepper(_StepperBase):
+    """Algorithm 1 on arrays — the paper's M-H edge sampler, vectorized."""
+
+    name = "mh"
+
+    def __init__(
+        self,
+        graph,
+        model,
+        *,
+        initializer: str = "high-weight",
+        init_sample_cap: int | None = 16,
+        burn_in_iterations: int = 100,
+        chain_store: ChainStore | None = None,
+        budget=None,
+    ):
+        super().__init__(graph, model)
+        strategy = str(initializer).lower()
+        if strategy not in _INIT_STRATEGIES:
+            raise WalkError(
+                f"unknown initializer {initializer!r}; choose from "
+                f"{sorted(set(_INIT_STRATEGIES))}"
+            )
+        self.strategy = {"weight": "high-weight", "burnin": "burn-in"}.get(strategy, strategy)
+        self.init_sample_cap = init_sample_cap
+        self.burn_in_iterations = burn_in_iterations
+        if chain_store is None:
+            if budget is not None:
+                budget.charge(mh_bytes(graph, model), self.name)
+            chain_store = ChainStore(graph, model)
+        self.chains = chain_store
+
+    # ------------------------------------------------------------------
+    def step(self, prev, prev_off, cur, step, rng):
+        lo, deg = self._rows(cur)
+        alive = deg > 0
+        idx = self.model.batch_state_index(prev_off, cur, step)
+        last = self.chains.last[idx].copy()
+
+        uninit = (last == NO_EDGE) & alive
+        if uninit.any():
+            t0 = time.perf_counter()
+            init_vals = self._initialize(
+                prev[uninit], prev_off[uninit], cur[uninit], step, rng
+            )
+            last[uninit] = init_vals
+            self.initializations += int(uninit.sum())
+            self.init_seconds += time.perf_counter() - t0
+
+        dead = ~alive | (last == NO_EDGE)
+        k = cur.size
+        # Algorithm 1: uniform candidate, acceptance min(1, w'_cand/w'_last)
+        cand = lo + (rng.random(k) * np.maximum(deg, 1)).astype(np.int64)
+        w_cand = self.model.batch_dynamic_weight(prev, prev_off, cur, step, cand)
+        w_last = self.model.batch_dynamic_weight(
+            prev, prev_off, cur, step, np.maximum(last, 0)
+        )
+        accept = (w_cand > 0.0) & ((w_last <= 0.0) | (rng.random(k) * w_last < w_cand))
+        new_last = np.where(accept & ~dead, cand, last)
+        ok = ~dead
+        self.chains.last[idx[ok]] = new_last[ok]
+        self.proposals += int(ok.sum())
+        self.accepts += int((accept & ok).sum())
+        self.samples += int(ok.sum())
+        return np.where(ok, new_last, NO_EDGE)
+
+    # ------------------------------------------------------------------
+    def _initialize(self, prev0, prev_off0, cur0, step, rng):
+        if self.strategy == "random":
+            return self._init_random(prev0, prev_off0, cur0, step, rng)
+        if self.strategy == "high-weight":
+            return self._init_high_weight(prev0, prev_off0, cur0, step, rng)
+        return self._init_burn_in(prev0, prev_off0, cur0, step, rng)
+
+    def _init_random(self, prev0, prev_off0, cur0, step, rng):
+        lo, deg = self._rows(cur0)
+        cand = lo + (rng.random(cur0.size) * np.maximum(deg, 1)).astype(np.int64)
+        w = self.model.batch_dynamic_weight(prev0, prev_off0, cur0, step, cand)
+        bad = w <= 0.0
+        if bad.any():
+            cand[bad] = self._support_uniform(
+                prev0[bad], prev_off0[bad], cur0[bad], step, rng
+            )
+        return cand
+
+    def _init_high_weight(self, prev0, prev_off0, cur0, step, rng):
+        cap = self.init_sample_cap
+        if cap is None:
+            return self._exact_argmax(prev0, prev_off0, cur0, step)
+        k = cur0.size
+        lo, deg = self._rows(cur0)
+        cand = lo[:, None] + (rng.random((k, cap)) * np.maximum(deg, 1)[:, None]).astype(np.int64)
+        flat = cand.ravel()
+        step_arr = np.repeat(step, cap) if isinstance(step, np.ndarray) else step
+        w = self.model.batch_dynamic_weight(
+            np.repeat(prev0, cap), np.repeat(prev_off0, cap), np.repeat(cur0, cap), step_arr, flat
+        ).reshape(k, cap)
+        best = np.argmax(w, axis=1)
+        rows = np.arange(k)
+        result = cand[rows, best]
+        bad = w[rows, best] <= 0.0
+        if bad.any():
+            # subsample may have missed the support entirely; fall back to
+            # the exact row argmax for those few states
+            result[bad] = self._exact_argmax(prev0[bad], prev_off0[bad], cur0[bad], step)
+        return result
+
+    def _init_burn_in(self, prev0, prev_off0, cur0, step, rng):
+        lo, deg = self._rows(cur0)
+        last = self._init_random(prev0, prev_off0, cur0, step, rng)
+        w_last = self.model.batch_dynamic_weight(
+            prev0, prev_off0, cur0, step, np.maximum(last, 0)
+        )
+        k = cur0.size
+        for __ in range(self.burn_in_iterations):
+            cand = lo + (rng.random(k) * np.maximum(deg, 1)).astype(np.int64)
+            w_cand = self.model.batch_dynamic_weight(prev0, prev_off0, cur0, step, cand)
+            accept = (w_cand > 0.0) & ((w_last <= 0.0) | (rng.random(k) * w_last < w_cand))
+            last = np.where(accept & (last != NO_EDGE), cand, last)
+            w_last = np.where(accept, w_cand, w_last)
+        return last
+
+    def _support_uniform(self, prev0, prev_off0, cur0, step, rng):
+        """Uniform draw over the positive-weight entries of each row."""
+        __, ___, deg, weights = self._expanded_row_weights(prev0, prev_off0, cur0, step)
+        lo = self.graph.offsets[cur0]
+        pos = segment_sample((weights > 0.0).astype(np.float64), deg, rng)
+        return np.where(pos >= 0, lo + pos, NO_EDGE)
+
+    def _exact_argmax(self, prev0, prev_off0, cur0, step):
+        __, ___, deg, weights = self._expanded_row_weights(prev0, prev_off0, cur0, step)
+        lo = self.graph.offsets[cur0]
+        pos = segment_argmax(weights, deg)
+        good = np.zeros(cur0.size, dtype=bool)
+        nonempty = pos >= 0
+        flat_best = (lo + np.maximum(pos, 0)).astype(np.int64)
+        if weights.size:
+            step_arr = step if not isinstance(step, np.ndarray) else step
+            best_w = self.model.batch_dynamic_weight(
+                prev0, prev_off0, cur0, step_arr, np.maximum(flat_best, 0)
+            )
+            good = nonempty & (best_w > 0.0)
+        return np.where(good, flat_best, NO_EDGE)
+
+    def memory_bytes(self) -> int:
+        return self.chains.memory_bytes()
+
+
+def _build_stepper(
+    name,
+    graph,
+    model,
+    *,
+    initializer,
+    init_sample_cap,
+    burn_in_iterations,
+    table_budget_bytes,
+    chain_store,
+    max_reject_rounds,
+    budget,
+):
+    key = str(name).lower()
+    if key in ("mh", "metropolis-hastings"):
+        return _MHStepper(
+            graph,
+            model,
+            initializer=initializer,
+            init_sample_cap=init_sample_cap,
+            burn_in_iterations=burn_in_iterations,
+            chain_store=chain_store,
+            budget=budget,
+        )
+    if key == "direct":
+        return _DirectStepper(graph, model)
+    if key == "alias-first-order":
+        return _FirstOrderAliasStepper(graph, model, budget=budget)
+    if key == "alias":
+        if model.is_static:
+            return _FirstOrderAliasStepper(graph, model, budget=budget)
+        return _StateAliasStepper(graph, model, budget=budget)
+    if key == "rejection":
+        return _RejectionStepper(
+            graph, model, fold=False, max_rounds=max_reject_rounds, budget=budget
+        )
+    if key == "knightking":
+        return _RejectionStepper(
+            graph, model, fold=True, max_rounds=max_reject_rounds, budget=budget
+        )
+    if key == "memory-aware":
+        if table_budget_bytes is None:
+            raise WalkError("memory-aware sampling needs table_budget_bytes")
+        return _MemoryAwareStepper(graph, model, table_budget_bytes, budget=budget)
+    raise WalkError(f"unknown sampler {name!r}")
+
+
+class VectorizedWalkEngine:
+    """Lock-step walk generation for any model × sampler combination.
+
+    Parameters
+    ----------
+    graph:
+        CSR network.
+    model:
+        Bound model instance or registry name (``model_params`` forwarded:
+        ``p``, ``q``, ``metapath``, ...).
+    sampler:
+        ``"mh"`` (default), ``"direct"``, ``"alias"``,
+        ``"alias-first-order"``, ``"rejection"``, ``"knightking"`` or
+        ``"memory-aware"``.
+    initializer:
+        M-H chain initialization: ``"random"``, ``"high-weight"``
+        (default) or ``"burn-in"``.
+    budget:
+        Optional :class:`~repro.sampling.memory_model.MemoryBudget`; the
+        sampler's footprint is charged at construction (simulated OOM).
+
+    The constructor performs all sampler preprocessing; its duration is
+    exposed as :attr:`setup_seconds` and lazily accrued M-H
+    initialization time as ``stats()["init_seconds"]`` — together they
+    form the paper's ``Ti``.
+    """
+
+    def __init__(
+        self,
+        graph,
+        model,
+        sampler="mh",
+        *,
+        initializer="high-weight",
+        init_sample_cap: int | None = 16,
+        burn_in_iterations: int = 100,
+        table_budget_bytes=None,
+        chain_store=None,
+        max_reject_rounds: int = 10_000,
+        budget=None,
+        seed=None,
+        **model_params,
+    ):
+        self.graph = graph
+        self.model = make_model(model, graph, **model_params)
+        start = time.perf_counter()
+        self.stepper = _build_stepper(
+            sampler,
+            graph,
+            self.model,
+            initializer=initializer,
+            init_sample_cap=init_sample_cap,
+            burn_in_iterations=burn_in_iterations,
+            table_budget_bytes=table_budget_bytes,
+            chain_store=chain_store,
+            max_reject_rounds=max_reject_rounds,
+            budget=budget,
+        )
+        self.setup_seconds = time.perf_counter() - start
+        self.rng = as_rng(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, num_walks: int = 10, walk_length: int = 80, start_nodes=None) -> WalkCorpus:
+        """Run ``num_walks`` waves of walks with ``walk_length`` nodes each.
+
+        Every valid start node launches one walker per wave (Algorithm
+        2's outer loops). Walks may end early at dead ends; the corpus
+        records actual lengths.
+        """
+        if num_walks < 1 or walk_length < 1:
+            raise WalkError("num_walks and walk_length must be >= 1")
+        if start_nodes is None:
+            starts = self.model.valid_start_nodes()
+        else:
+            starts = np.asarray(start_nodes, dtype=np.int64)
+        if starts.size == 0:
+            raise WalkError("no valid start nodes for this model/graph")
+        walks = np.full((num_walks * starts.size, walk_length), -1, dtype=np.int64)
+        lengths = np.empty(num_walks * starts.size, dtype=np.int64)
+        for wave in range(num_walks):
+            base = wave * starts.size
+            lengths[base : base + starts.size] = self._run_wave(
+                starts, walk_length, walks, base
+            )
+        return WalkCorpus(walks, lengths)
+
+    def _run_wave(self, starts, walk_length, walks, row_base) -> np.ndarray:
+        graph, model, stepper, rng = self.graph, self.model, self.stepper, self.rng
+        k = starts.size
+        walks[row_base : row_base + k, 0] = starts
+        lengths = np.ones(k, dtype=np.int64)
+        ids = np.arange(k, dtype=np.int64)
+        cur = starts.astype(np.int64).copy()
+        prev = np.full(k, -1, dtype=np.int64)
+        prev_off = np.full(k, -1, dtype=np.int64)
+        for step in range(walk_length - 1):
+            if cur.size == 0:
+                break
+            if model.order == 2 and step == 0:
+                chosen = self._first_step(cur, rng)
+            else:
+                chosen = stepper.step(prev, prev_off, cur, step, rng)
+            alive = chosen != NO_EDGE
+            ids = ids[alive]
+            chosen = chosen[alive]
+            prev = cur[alive]
+            prev_off = chosen
+            cur = graph.targets[chosen]
+            walks[row_base + ids, step + 1] = cur
+            lengths[ids] += 1
+        return lengths
+
+    def _first_step(self, cur, rng):
+        """Second-order walks take step 0 from the model's start-state law.
+
+        With no previous edge the models define α = 1, which reduces to
+        the static distribution for node2vec/edge2vec but keeps
+        fairwalk's group discounting — so the exact draw goes through the
+        model kernel rather than the raw static weights.
+        """
+        graph = self.graph
+        lo = graph.offsets[cur]
+        deg = graph.offsets[cur + 1] - lo
+        flat_offs, seg = concat_ranges(lo, deg)
+        if flat_offs.size == 0:
+            return np.full(cur.size, NO_EDGE, dtype=np.int64)
+        no_prev = np.full(flat_offs.size, -1, dtype=np.int64)
+        weights = self.model.batch_dynamic_weight(no_prev, no_prev, cur[seg], 0, flat_offs)
+        pos = segment_sample(weights, deg, rng)
+        return np.where(pos >= 0, lo + pos, NO_EDGE)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Sampler counters plus engine setup time."""
+        out = self.stepper.stats()
+        out["setup_seconds"] = self.setup_seconds
+        return out
+
+    def memory_bytes(self) -> int:
+        """Persistent sampler bytes (chains / tables / proposals)."""
+        return self.stepper.memory_bytes()

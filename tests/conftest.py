@@ -1,0 +1,56 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.builder import from_edge_arrays
+from repro.graph.hetero import academic_graph, assign_random_types
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_weighted_graph():
+    """5-node weighted graph with a mix of triangles and non-adjacent pairs.
+
+    Handy because node 0's neighbours {1, 2, 3, 4} fall into all three
+    node2vec alpha classes relative to a predecessor.
+    """
+    src = np.array([0, 0, 0, 0, 1, 2, 3, 1, 3, 3])
+    dst = np.array([1, 2, 3, 4, 2, 4, 1, 4, 2, 4])
+    w = np.array([1.0, 2.0, 0.5, 3.0, 1.0, 1.0, 2.0, 1.0, 1.0, 1.0])
+    return from_edge_arrays(src, dst, w, num_nodes=5, duplicate_policy="first")
+
+
+@pytest.fixture
+def small_power_law_graph():
+    return generators.chung_lu_power_law(300, 8.0, seed=42, weight_mode="uniform")
+
+
+@pytest.fixture
+def small_unweighted_graph():
+    return generators.chung_lu_power_law(200, 6.0, seed=7)
+
+
+@pytest.fixture
+def typed_graph():
+    """Random-typed homogeneous graph (the paper's Section V-D device)."""
+    base = generators.chung_lu_power_law(200, 8.0, seed=3)
+    return assign_random_types(base, num_types=3, seed=3)
+
+
+@pytest.fixture
+def academic():
+    """Small author/paper/venue network plus author-area labels."""
+    return academic_graph(num_authors=120, num_papers=200, num_venues=8, seed=5)
+
+
+@pytest.fixture
+def barbell():
+    return generators.barbell_graph(10, 3)

@@ -1,0 +1,261 @@
+"""Tests for the embedding subsystem: vocab, negatives, word2vec, vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError, VocabularyError
+from repro.embedding import KeyedVectors, NegativeSampler, Vocabulary, Word2Vec
+from repro.embedding.word2vec import scatter_add_rows
+from repro.walks.corpus import WalkCorpus
+
+
+class TestVocabulary:
+    def test_frequency_ordering(self):
+        vocab = Vocabulary(np.array([3, 10, 1, 7]))
+        assert vocab.tokens.tolist() == [1, 3, 0, 2]
+        assert vocab.counts.tolist() == [10, 7, 3, 1]
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary(np.array([3, 10, 1, 7]), min_count=3)
+        assert 2 not in vocab.tokens
+        assert vocab.size == 3
+
+    def test_index_lookup(self):
+        vocab = Vocabulary(np.array([3, 10, 1]))
+        assert vocab.index(1) == 0
+        assert vocab.index(2) == vocab.tokens.tolist().index(2)
+        assert vocab.index(99) == -1
+
+    def test_encode_handles_padding_and_dropped(self):
+        vocab = Vocabulary(np.array([5, 0, 5]), min_count=2)
+        encoded = vocab.encode(np.array([0, 1, 2, -1]))
+        assert encoded[1] == -1  # dropped by min_count
+        assert encoded[3] == -1  # padding
+        assert encoded[0] >= 0 and encoded[2] >= 0
+
+    def test_encode_out_of_range_ids(self):
+        vocab = Vocabulary(np.array([5, 3]))
+        encoded = vocab.encode(np.array([0, 1, 2, 99]))
+        assert encoded[2] == -1 and encoded[3] == -1
+
+    def test_from_corpus(self):
+        corpus = WalkCorpus.from_lists([[0, 1, 1], [2, 1]])
+        vocab = Vocabulary.from_corpus(corpus, 3)
+        assert vocab.tokens[0] == 1  # most frequent first
+        assert vocab.total_count == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(np.array([0, 0]))
+
+    def test_subsample_probs(self):
+        vocab = Vocabulary(np.array([100000, 10]))
+        probs = vocab.subsample_keep_probs(1e-3)
+        assert probs[0] < 1.0  # frequent token gets subsampled
+        assert probs[1] == 1.0  # rare token always kept
+        assert np.all(vocab.subsample_keep_probs(0) == 1.0)
+
+
+class TestNegativeSampler:
+    def test_distribution_follows_power(self, rng):
+        counts = np.array([1000.0, 100.0, 10.0])
+        sampler = NegativeSampler(counts)
+        expected = counts**0.75
+        expected /= expected.sum()
+        draws = sampler.draw(rng, 200000)
+        freq = np.bincount(draws, minlength=3) / 200000
+        assert 0.5 * np.abs(freq - expected).sum() < 0.01
+
+    def test_probabilities_sum_to_one(self):
+        sampler = NegativeSampler(np.array([5.0, 2.0, 3.0]))
+        assert sampler.probabilities().sum() == pytest.approx(1.0)
+
+    def test_shape_passthrough(self, rng):
+        sampler = NegativeSampler(np.array([1.0, 1.0]))
+        assert sampler.draw(rng, (4, 5)).shape == (4, 5)
+
+    def test_invalid_counts(self):
+        with pytest.raises(TrainingError):
+            NegativeSampler(np.array([]))
+        with pytest.raises(TrainingError):
+            NegativeSampler(np.array([-1.0, 2.0]))
+        with pytest.raises(TrainingError):
+            NegativeSampler(np.array([0.0, 0.0]))
+
+
+class TestScatterAddRows:
+    def test_matches_add_at(self, rng):
+        matrix = rng.standard_normal((20, 8)).astype(np.float32)
+        reference = matrix.copy()
+        rows = rng.integers(0, 20, 100)
+        updates = rng.standard_normal((100, 8)).astype(np.float32)
+        scatter_add_rows(matrix, rows, updates)
+        np.add.at(reference, rows, updates)
+        assert np.allclose(matrix, reference, atol=1e-4)
+
+    def test_clip_bounds_row_step(self, rng):
+        matrix = np.zeros((4, 8), dtype=np.float32)
+        rows = np.zeros(50, dtype=np.int64)
+        updates = np.ones((50, 8), dtype=np.float32)
+        scatter_add_rows(matrix, rows, updates, clip=1.0)
+        assert np.linalg.norm(matrix[0]) == pytest.approx(1.0, rel=1e-5)
+
+    def test_empty_noop(self):
+        matrix = np.ones((2, 2), dtype=np.float32)
+        scatter_add_rows(matrix, np.empty(0, dtype=np.int64), np.empty((0, 2), dtype=np.float32))
+        assert np.all(matrix == 1.0)
+
+
+class TestWord2VecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimensions": 0},
+            {"window": 0},
+            {"negative": 0},
+            {"epochs": 0},
+            {"alpha": 0.0},
+            {"mode": "glove"},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        base = {"dimensions": 8}
+        base.update(kwargs)
+        with pytest.raises(TrainingError):
+            Word2Vec(**base)
+
+    def test_too_short_walks_rejected(self):
+        corpus = WalkCorpus.from_lists([[0], [1]])
+        with pytest.raises(TrainingError):
+            Word2Vec(dimensions=4).fit(corpus, num_nodes=2)
+
+
+class TestWord2VecTraining:
+    @pytest.fixture
+    def barbell_corpus(self, barbell):
+        from repro.walks.vectorized import VectorizedWalkEngine
+
+        eng = VectorizedWalkEngine(barbell, "deepwalk", sampler="mh", seed=1)
+        return barbell, eng.generate(num_walks=15, walk_length=30)
+
+    def test_loss_decreases(self, barbell_corpus):
+        graph, corpus = barbell_corpus
+        w2v = Word2Vec(dimensions=24, epochs=3, seed=2)
+        w2v.fit(corpus, num_nodes=graph.num_nodes)
+        first = np.mean(w2v.training_loss_[:5])
+        last = np.mean(w2v.training_loss_[-5:])
+        assert last < first
+
+    @pytest.mark.parametrize("mode", ["skipgram", "cbow"])
+    def test_learns_community_structure(self, barbell_corpus, mode):
+        graph, corpus = barbell_corpus
+        kv = Word2Vec(dimensions=24, epochs=4, mode=mode, seed=3).fit(
+            corpus, num_nodes=graph.num_nodes
+        )
+        within = kv.similarity(0, 1)
+        across = kv.similarity(0, graph.num_nodes - 1)
+        assert within > across + 0.15
+
+    def test_negative_sharing_equivalent_quality(self, barbell_corpus):
+        graph, corpus = barbell_corpus
+        kv = Word2Vec(dimensions=24, epochs=4, negative_sharing=True, seed=4).fit(
+            corpus, num_nodes=graph.num_nodes
+        )
+        assert kv.similarity(0, 1) > kv.similarity(0, graph.num_nodes - 1) + 0.15
+
+    def test_deterministic_given_seed(self, barbell_corpus):
+        graph, corpus = barbell_corpus
+        kv1 = Word2Vec(dimensions=8, epochs=1, seed=5).fit(corpus, num_nodes=graph.num_nodes)
+        kv2 = Word2Vec(dimensions=8, epochs=1, seed=5).fit(corpus, num_nodes=graph.num_nodes)
+        assert np.array_equal(kv1.vectors, kv2.vectors)
+
+    def test_all_nodes_embedded(self, barbell_corpus):
+        graph, corpus = barbell_corpus
+        kv = Word2Vec(dimensions=8, epochs=1, seed=6).fit(corpus, num_nodes=graph.num_nodes)
+        assert len(kv) == graph.num_nodes
+
+    def test_min_count_drops_rare(self):
+        corpus = WalkCorpus.from_lists([[0, 1, 0, 1, 0, 1, 2]])
+        kv = Word2Vec(dimensions=4, epochs=1, min_count=2, seed=7).fit(corpus, num_nodes=3)
+        assert 2 not in kv
+        assert 0 in kv
+
+    def test_subsample_runs(self, barbell_corpus):
+        graph, corpus = barbell_corpus
+        kv = Word2Vec(dimensions=8, epochs=1, subsample=1e-2, seed=8).fit(
+            corpus, num_nodes=graph.num_nodes
+        )
+        assert kv.dimensions == 8
+
+    def test_pair_generation_counts(self, rng):
+        w2v = Word2Vec(dimensions=4, window=2, seed=9)
+        encoded = np.array([[0, 1, 2, 3]])
+        totals = []
+        for __ in range(300):
+            c, o = w2v._generate_pairs(encoded, rng)
+            totals.append(c.size)
+        # distance-1 pairs always kept (3*2), distance-2 kept w.p. 1/2 (2*2)
+        assert abs(np.mean(totals) - (6 + 2)) < 0.5
+
+    def test_pair_positions_align(self, rng):
+        w2v = Word2Vec(dimensions=4, window=2, seed=10)
+        encoded = np.array([[4, 5, 6]])
+        c, o, pos = w2v._generate_pairs(encoded, rng, with_positions=True)
+        for center, position in zip(c, pos):
+            assert encoded.ravel()[position] == center
+
+
+class TestKeyedVectors:
+    @pytest.fixture
+    def kv(self):
+        keys = np.array([3, 7, 9])
+        vectors = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        return KeyedVectors(keys, vectors)
+
+    def test_lookup(self, kv):
+        assert np.array_equal(kv[7], [0.0, 1.0])
+        assert 7 in kv and 4 not in kv
+        with pytest.raises(VocabularyError):
+            kv.vector(4)
+
+    def test_similarity(self, kv):
+        assert kv.similarity(3, 7) == pytest.approx(0.0)
+        assert kv.similarity(3, 9) == pytest.approx(1 / np.sqrt(2))
+
+    def test_most_similar_by_key(self, kv):
+        result = kv.most_similar(3, topn=2)
+        assert result[0][0] == 9
+        assert all(key != 3 for key, __ in result)
+
+    def test_most_similar_by_vector(self, kv):
+        result = kv.most_similar(np.array([1.0, 0.0]), topn=1)
+        assert result[0][0] == 3
+
+    def test_matrix_for(self, kv):
+        mat = kv.matrix_for([9, 3])
+        assert np.array_equal(mat, [[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(VocabularyError):
+            kv.matrix_for([4])
+        zeros = kv.matrix_for([4, 7], missing="zeros")
+        assert np.array_equal(zeros[0], [0.0, 0.0])
+
+    def test_save_load(self, kv, tmp_path):
+        path = tmp_path / "kv.npz"
+        kv.save_npz(path)
+        back = KeyedVectors.load_npz(path)
+        assert np.array_equal(back.keys, kv.keys)
+        assert np.array_equal(back.vectors, kv.vectors)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(VocabularyError):
+            KeyedVectors(np.array([1]), np.zeros((2, 3)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(counts=st.lists(st.integers(1, 500), min_size=2, max_size=40))
+def test_property_vocab_total_preserved(counts):
+    vocab = Vocabulary(np.array(counts))
+    assert vocab.total_count == sum(counts)
+    assert np.all(np.diff(vocab.counts) <= 0)  # frequency-sorted

@@ -1,0 +1,130 @@
+"""Final coverage batch: examples compile, protocol conformance, misc."""
+
+import py_compile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+class TestExamplesCompile:
+    """Examples are documentation; they must at least stay syntactically
+    valid and import-clean (full runs live outside the unit suite)."""
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+    def test_at_least_quickstart_and_two_scenarios(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+
+class TestTransitionModelProtocol:
+    def test_all_models_satisfy_sampler_protocol(self, typed_graph):
+        from repro.sampling.base import TransitionModel
+        from repro.walks.models import MODELS, make_model
+
+        for name in MODELS:
+            kwargs = {"metapath": [0, 1, 0]} if name == "metapath2vec" else {}
+            model = make_model(name, typed_graph, **kwargs)
+            assert isinstance(model, TransitionModel)
+
+    def test_scalar_and_batch_weights_agree_for_all_models(self, typed_graph):
+        """calculate_weight and batch_dynamic_weight are the same law."""
+        from repro.walks.models import MODELS, make_model
+        from repro.walks.state import WalkerState
+
+        g = typed_graph
+        rng = np.random.default_rng(0)
+        for name in MODELS:
+            kwargs = {"metapath": [0, 1, 0]} if name == "metapath2vec" else {}
+            model = make_model(name, g, **kwargs)
+            for __ in range(5):
+                e = int(rng.integers(g.num_edge_entries))
+                v = int(g.targets[e])
+                if g.degree(v) == 0:
+                    continue
+                s = int(g.edge_sources()[e])
+                state = WalkerState(current=v, previous=s, prev_edge_offset=e, step=1)
+                lo, hi = g.edge_range(v)
+                offs = np.arange(lo, hi)
+                batch = model.batch_dynamic_weight(
+                    np.full(offs.size, s), np.full(offs.size, e),
+                    np.full(offs.size, v), 1, offs,
+                )
+                scalar = [model.calculate_weight(state, int(o)) for o in offs]
+                assert np.allclose(batch, scalar), name
+
+
+class TestScalarEngineFirstStep:
+    def test_fairwalk_first_step_group_fair_in_reference_engine(self):
+        from repro.graph.builder import from_edge_arrays
+        from repro.walks.engine import ReferenceWalkEngine
+
+        src = np.zeros(10, dtype=np.int64)
+        dst = np.arange(1, 11)
+        g = from_edge_arrays(src, dst, num_nodes=11)
+        types = np.zeros(11, dtype=np.int16)
+        types[1:10] = 1
+        types[10] = 2
+        typed = g.with_node_types(types)
+        eng = ReferenceWalkEngine(typed, "fairwalk", sampler="direct", p=1, q=1, seed=0)
+        hits_type2 = 0
+        trials = 600
+        for __ in range(trials):
+            walk = eng.walk(0, 2)
+            hits_type2 += walk[1] == 10
+        assert abs(hits_type2 / trials - 0.5) < 0.07
+
+
+class TestMiscEdgeCases:
+    def test_degree_histogram_uniform_graph(self):
+        from repro.graph.generators import cycle_graph
+        from repro.graph.stats import degree_histogram
+
+        edges, counts = degree_histogram(cycle_graph(10))
+        assert counts.sum() == 10
+
+    def test_train_result_defaults(self):
+        from repro.core.pipeline import TrainResult
+
+        result = TrainResult(embeddings=None, corpus=None)
+        assert result.ti == 0.0 and result.tw == 0.0 and result.tl == 0.0
+        assert result.tt == 0.0
+
+    def test_timer_total_matches_reported_phases(self, small_unweighted_graph):
+        from repro.core.config import WalkConfig
+        from repro.core.pipeline import train_pipeline
+
+        result = train_pipeline(
+            small_unweighted_graph,
+            "deepwalk",
+            WalkConfig(num_walks=1, walk_length=6),
+            seed=1,
+            skip_learning=True,
+        )
+        assert result.tt == pytest.approx(result.ti + result.tw + result.tl)
+
+    def test_chain_store_borrowed_by_scalar_and_vectorized(self, small_unweighted_graph):
+        """Scalar sampler and vectorized engine can share one chain array."""
+        from repro.sampling import MetropolisHastingsSampler
+        from repro.walks.manager import ChainStore
+        from repro.walks.models import make_model
+        from repro.walks.state import WalkerState
+        from repro.walks.vectorized import VectorizedWalkEngine
+
+        g = small_unweighted_graph
+        model = make_model("deepwalk", g)
+        store = ChainStore(g, model)
+        engine = VectorizedWalkEngine(g, model, sampler="mh", chain_store=store, seed=2)
+        engine.generate(num_walks=1, walk_length=6)
+        touched = store.num_initialized
+        scalar = MetropolisHastingsSampler(g, model, chain_store=store)
+        rng = np.random.default_rng(3)
+        v = int(np.argmax(g.degrees()))
+        scalar.sample(g, model, WalkerState(current=v), rng)
+        assert store.num_initialized >= touched

@@ -1,0 +1,146 @@
+"""Tests for GraphBuilder and from_edge_arrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, from_edge_arrays
+
+
+class TestBasicBuild:
+    def test_undirected_adds_both_directions(self):
+        g = GraphBuilder().add_edge(0, 1).build()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.num_edge_entries == 2
+
+    def test_directed_adds_one_direction(self):
+        g = GraphBuilder(directed=True).add_edge(0, 1).build()
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_num_nodes_inferred(self):
+        g = GraphBuilder().add_edge(2, 7).build()
+        assert g.num_nodes == 8
+
+    def test_num_nodes_explicit_bound_checked(self):
+        builder = GraphBuilder(num_nodes=3).add_edge(0, 4)
+        with pytest.raises(GraphError):
+            builder.build()
+
+    def test_empty_build(self):
+        g = GraphBuilder(num_nodes=4).build()
+        assert g.num_nodes == 4
+        assert g.num_edge_entries == 0
+
+    def test_chaining(self):
+        g = GraphBuilder().add_edge(0, 1).add_edge(1, 2).build()
+        assert g.num_edge_entries == 4
+
+    def test_num_pending_edges(self):
+        builder = GraphBuilder()
+        builder.add_edges([0, 1], [1, 2])
+        assert builder.num_pending_edges == 2
+
+
+class TestValidation:
+    def test_self_loop_rejected_by_default(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(1, 1)
+
+    def test_self_loop_allowed_when_requested(self):
+        g = GraphBuilder(allow_self_loops=True).add_edge(1, 1).build()
+        assert g.has_edge(1, 1)
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(-1, 0)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edges([0, 1], [1])
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edges([0], [1], [float("nan")])
+
+    def test_unknown_duplicate_policy_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(duplicate_policy="bogus")
+
+
+class TestDuplicates:
+    def _dup_builder(self, policy):
+        builder = GraphBuilder(directed=True, duplicate_policy=policy)
+        builder.add_edges([0, 0, 0], [1, 1, 1], [1.0, 2.0, 4.0])
+        return builder
+
+    def test_sum_policy(self):
+        g = self._dup_builder("sum").build()
+        assert g.num_edge_entries == 1
+        assert g.weights[0] == 7.0
+
+    def test_first_policy(self):
+        g = self._dup_builder("first").build()
+        assert g.weights[0] == 1.0
+
+    def test_max_policy(self):
+        g = self._dup_builder("max").build()
+        assert g.weights[0] == 4.0
+
+    def test_error_policy(self):
+        with pytest.raises(GraphError):
+            self._dup_builder("error").build()
+
+    def test_dedup_keeps_distinct_edges(self):
+        builder = GraphBuilder(directed=True, duplicate_policy="sum")
+        builder.add_edges([0, 0, 1], [1, 1, 0], [1.0, 1.0, 5.0])
+        g = builder.build()
+        assert g.num_edge_entries == 2
+        assert g.weights[g.edge_index(0, 1)] == 2.0
+        assert g.weights[g.edge_index(1, 0)] == 5.0
+
+
+class TestNodeTypes:
+    def test_types_attached(self):
+        builder = GraphBuilder(num_nodes=3).add_edge(0, 1)
+        builder.set_node_types([0, 1, 1])
+        g = builder.build()
+        assert g.is_heterogeneous
+        assert g.num_node_types == 2
+
+    def test_wrong_length_rejected(self):
+        builder = GraphBuilder(num_nodes=3).add_edge(0, 1)
+        builder.set_node_types([0, 1])
+        with pytest.raises(GraphError):
+            builder.build()
+
+    def test_negative_type_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().set_node_types([-1])
+
+
+class TestEdgeTypes:
+    def test_edge_types_symmetrised(self):
+        g = from_edge_arrays([0], [1], edge_types=[3], num_nodes=2)
+        assert g.edge_types is not None
+        assert g.edge_types[g.edge_index(0, 1)] == 3
+        assert g.edge_types[g.edge_index(1, 0)] == 3
+
+    def test_no_edge_types_by_default(self):
+        g = from_edge_arrays([0], [1], num_nodes=2)
+        assert g.edge_types is None
+
+
+class TestFromEdgeArrays:
+    def test_one_shot(self):
+        g = from_edge_arrays([0, 1], [1, 2], [1.0, 2.0], num_nodes=3)
+        assert g.is_weighted
+        assert g.num_edge_entries == 4
+
+    def test_weights_symmetric_for_undirected(self):
+        g = from_edge_arrays([0], [1], [2.5], num_nodes=2)
+        assert g.weights[g.edge_index(0, 1)] == 2.5
+        assert g.weights[g.edge_index(1, 0)] == 2.5
+
+    def test_node_types_passthrough(self):
+        g = from_edge_arrays([0], [1], num_nodes=2, node_types=[1, 0])
+        assert g.node_types.tolist() == [1, 0]

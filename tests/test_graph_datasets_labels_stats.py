@@ -1,0 +1,109 @@
+"""Tests for the dataset registry, label containers and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError, GraphError
+from repro.graph import datasets, stats
+from repro.graph.labels import NodeLabels
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in datasets.DATASETS:
+            result = datasets.load(name, scale=0.05, seed=1)
+            graph = result[0] if isinstance(result, tuple) else result
+            assert graph.num_nodes > 0
+            assert graph.num_edge_entries > 0
+
+    def test_labeled_sets_return_tuples(self):
+        for name in datasets.LABELED:
+            graph, labels = datasets.load(name, scale=0.05, seed=1)
+            assert labels.num_labeled > 0
+
+    def test_heterogeneous_sets_are_typed(self):
+        for name in datasets.HETEROGENEOUS:
+            graph = datasets.load_graph(name, scale=0.05, seed=1)
+            assert graph.is_heterogeneous
+
+    def test_homogeneous_sets_untyped(self):
+        graph = datasets.load_graph("youtube", scale=0.05, seed=1)
+        assert not graph.is_heterogeneous
+
+    def test_unknown_name(self):
+        with pytest.raises(GraphError):
+            datasets.load("imaginary")
+
+    def test_load_labels_on_unlabeled(self):
+        with pytest.raises(GraphError):
+            datasets.load_labels("twitter", scale=0.05)
+
+    def test_scale_grows_graph(self):
+        small = datasets.load_graph("amazon", scale=0.05, seed=2)
+        large = datasets.load_graph("amazon", scale=0.2, seed=2)
+        assert large.num_nodes > small.num_nodes
+
+    def test_seed_determinism(self):
+        a = datasets.load_graph("twitter", scale=0.05, seed=3)
+        b = datasets.load_graph("twitter", scale=0.05, seed=3)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_weighted_option(self):
+        g = datasets.load_graph("livejournal", scale=0.05, seed=4, weight_mode="uniform")
+        assert g.is_weighted
+
+
+class TestNodeLabels:
+    def test_single_label(self):
+        labels = NodeLabels([0, 1, 2], [2, 0, 1])
+        assert not labels.is_multilabel
+        assert labels.num_classes == 3
+        mat = labels.indicator_matrix()
+        assert mat.sum() == 3
+
+    def test_multi_label(self):
+        y = np.array([[1, 0, 1], [0, 1, 0]], dtype=bool)
+        labels = NodeLabels([5, 9], y)
+        assert labels.is_multilabel
+        assert labels.num_classes == 3
+        with pytest.raises(EvaluationError):
+            labels.class_ids()
+
+    def test_subset(self):
+        labels = NodeLabels([0, 1, 2, 3], [0, 1, 0, 1])
+        sub = labels.subset([1, 3])
+        assert sub.node_ids.tolist() == [1, 3]
+        assert sub.class_ids().tolist() == [1, 1]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(EvaluationError):
+            NodeLabels([0, 1], [0])
+
+    def test_unlabeled_row_rejected(self):
+        y = np.array([[0, 0]], dtype=bool)
+        with pytest.raises(EvaluationError):
+            NodeLabels([0], y)
+
+    def test_negative_class_rejected(self):
+        with pytest.raises(EvaluationError):
+            NodeLabels([0], [-1])
+
+
+class TestStats:
+    def test_graph_statistics_fields(self, small_power_law_graph):
+        s = stats.graph_statistics(small_power_law_graph)
+        assert s["num_nodes"] == small_power_law_graph.num_nodes
+        assert s["num_edges"] == small_power_law_graph.num_undirected_edges
+        assert s["mean_degree"] == pytest.approx(small_power_law_graph.mean_degree)
+        assert s["weighted"] is True
+        assert s["memory_bytes"] > 0
+
+    def test_degree_histogram(self, small_power_law_graph):
+        edges, counts = stats.degree_histogram(small_power_law_graph)
+        assert counts.sum() <= small_power_law_graph.num_nodes
+        assert edges.size >= 2
+
+    def test_power_law_estimate_nan_for_tiny(self):
+        from repro.graph.generators import path_graph
+
+        assert np.isnan(stats.power_law_exponent_estimate(path_graph(5)))

@@ -1,0 +1,156 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+from repro.graph.stats import power_law_exponent_estimate
+
+
+class TestDeterministicGraphs:
+    def test_path_graph(self):
+        g = gen.path_graph(5)
+        assert g.num_edge_entries == 8
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle_graph(self):
+        g = gen.cycle_graph(6)
+        assert np.all(g.degrees() == 2)
+
+    def test_complete_graph(self):
+        g = gen.complete_graph(6)
+        assert np.all(g.degrees() == 5)
+
+    def test_star_graph(self):
+        g = gen.star_graph(7)
+        assert g.degree(0) == 6
+        assert np.all(g.degrees()[1:] == 1)
+
+    def test_barbell_graph(self):
+        g = gen.barbell_graph(5, 2)
+        # two 5-cliques plus a bridge path
+        assert g.num_nodes == 11
+        assert g.degree(0) == 4
+
+    @pytest.mark.parametrize(
+        "fn,arg",
+        [
+            (gen.path_graph, 1),
+            (gen.cycle_graph, 2),
+            (gen.complete_graph, 1),
+            (gen.star_graph, 1),
+            (gen.barbell_graph, 1),
+        ],
+    )
+    def test_too_small_rejected(self, fn, arg):
+        with pytest.raises(GraphError):
+            fn(arg)
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_size_and_degree(self):
+        g = gen.erdos_renyi(500, 8.0, seed=1)
+        assert g.num_nodes == 500
+        assert 5.0 < g.mean_degree < 9.0
+
+    def test_seed_determinism(self):
+        a = gen.erdos_renyi(100, 5.0, seed=3)
+        b = gen.erdos_renyi(100, 5.0, seed=3)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_different_seeds_differ(self):
+        a = gen.erdos_renyi(100, 5.0, seed=3)
+        b = gen.erdos_renyi(100, 5.0, seed=4)
+        assert not np.array_equal(a.targets, b.targets)
+
+    def test_chung_lu_power_law_tail(self):
+        g = gen.chung_lu_power_law(3000, 10.0, exponent=2.4, seed=2)
+        estimate = power_law_exponent_estimate(g)
+        assert 1.7 < estimate < 3.2
+        # heavy tail: max degree far above the mean
+        assert g.degrees().max() > 5 * g.mean_degree
+
+    def test_chung_lu_invalid_exponent(self):
+        with pytest.raises(GraphError):
+            gen.chung_lu_power_law(100, 5.0, exponent=1.0)
+
+    def test_rmat_shape_and_skew(self):
+        g = gen.rmat(10, 16.0, seed=5)
+        assert g.num_nodes == 1024
+        assert g.degrees().max() > 8 * g.mean_degree
+
+    def test_rmat_invalid_scale(self):
+        with pytest.raises(GraphError):
+            gen.rmat(0)
+
+    def test_rmat_invalid_quadrants(self):
+        with pytest.raises(GraphError):
+            gen.rmat(5, a=0.9, b=0.2, c=0.2)
+
+    def test_no_isolated_nodes_by_default(self):
+        g = gen.chung_lu_power_law(800, 3.0, seed=6)
+        assert int((g.degrees() == 0).sum()) == 0
+
+    def test_no_self_loops(self):
+        g = gen.erdos_renyi(200, 6.0, seed=7)
+        src, dst, __ = g.edge_list()
+        assert not np.any(src == dst)
+
+    def test_weight_modes(self):
+        uniform = gen.erdos_renyi(100, 5.0, seed=8, weight_mode="uniform")
+        expo = gen.erdos_renyi(100, 5.0, seed=8, weight_mode="exponential")
+        assert uniform.is_weighted and expo.is_weighted
+        assert uniform.weights.min() >= 0.5 and uniform.weights.max() <= 1.5
+        assert expo.weights.min() > 0
+
+    def test_unknown_weight_mode(self):
+        with pytest.raises(GraphError):
+            gen.erdos_renyi(50, 4.0, seed=0, weight_mode="bogus")
+
+    def test_weights_symmetric(self):
+        g = gen.erdos_renyi(100, 6.0, seed=9, weight_mode="uniform")
+        src, dst, w = g.edge_list()
+        for i in range(0, 50):
+            rev = g.edge_index(int(dst[i]), int(src[i]))
+            assert w[i] == pytest.approx(g.weights[rev])
+
+
+class TestCommunityGraphs:
+    def test_planted_partition_labels(self):
+        g, labels = gen.planted_partition(400, 4, seed=1)
+        assert labels.num_labeled == 400
+        assert labels.num_classes == 4
+        assert not labels.is_multilabel
+
+    def test_planted_partition_homophily(self):
+        g, labels = gen.planted_partition(
+            600, 3, within_degree=16.0, between_degree=2.0, seed=2
+        )
+        community = labels.class_ids()
+        src, dst, __ = g.edge_list()
+        same = (community[src] == community[dst]).mean()
+        assert same > 0.6
+
+    def test_planted_partition_validation(self):
+        with pytest.raises(GraphError):
+            gen.planted_partition(10, 1)
+        with pytest.raises(GraphError):
+            gen.planted_partition(5, 4)
+
+    def test_overlapping_communities_multilabel(self):
+        g, labels = gen.overlapping_communities(300, 8, seed=3)
+        assert labels.is_multilabel
+        y = labels.indicator_matrix()
+        assert y.shape == (300, 8)
+        assert y.any(axis=1).all()
+        # average membership near the configured mean
+        assert 1.0 <= y.sum(axis=1).mean() <= 2.5
+
+    def test_overlapping_membership_cap(self):
+        __, labels = gen.overlapping_communities(500, 6, avg_memberships=3.0, seed=4)
+        assert labels.indicator_matrix().sum(axis=1).max() <= 4
+
+    def test_overlapping_validation(self):
+        with pytest.raises(GraphError):
+            gen.overlapping_communities(100, 1)

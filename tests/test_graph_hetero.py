@@ -1,0 +1,130 @@
+"""Tests for heterogeneous graph support."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.hetero import (
+    AUTHOR_TYPE,
+    PAPER_TYPE,
+    VENUE_TYPE,
+    academic_graph,
+    assign_random_types,
+    derive_edge_types,
+    num_symmetric_edge_types,
+    parse_metapath,
+)
+
+
+class TestParseMetapath:
+    def test_letters(self):
+        assert parse_metapath("APA") == [0, 1, 0]
+        assert parse_metapath("APVPA") == [0, 1, 2, 1, 0]
+
+    def test_integer_sequence(self):
+        assert parse_metapath([1, 2, 1]) == [1, 2, 1]
+
+    def test_custom_names(self):
+        assert parse_metapath("XY", {"X": 5, "Y": 6}) == [5, 6]
+
+    def test_unknown_letter(self):
+        with pytest.raises(GraphError):
+            parse_metapath("AZ")
+
+    def test_too_short(self):
+        with pytest.raises(GraphError):
+            parse_metapath("A")
+
+    def test_negative_type(self):
+        with pytest.raises(GraphError):
+            parse_metapath([0, -1])
+
+
+class TestRandomTypes:
+    def test_assign_random_types(self, small_unweighted_graph):
+        typed = assign_random_types(small_unweighted_graph, 3, seed=1)
+        assert typed.is_heterogeneous
+        assert typed.node_types.min() >= 0
+        assert typed.node_types.max() < 3
+        assert typed.edge_types is not None
+
+    def test_assign_rejects_zero_types(self, small_unweighted_graph):
+        with pytest.raises(GraphError):
+            assign_random_types(small_unweighted_graph, 0)
+
+    def test_all_types_present(self, small_unweighted_graph):
+        typed = assign_random_types(small_unweighted_graph, 3, seed=2)
+        assert set(np.unique(typed.node_types)) == {0, 1, 2}
+
+
+class TestDeriveEdgeTypes:
+    def test_symmetric_ids(self, small_unweighted_graph):
+        typed = assign_random_types(small_unweighted_graph, 3, seed=3)
+        src = typed.edge_sources()
+        for off in range(0, typed.num_edge_entries, 7):
+            rev = typed.edge_index(int(typed.targets[off]), int(src[off]))
+            assert typed.edge_types[off] == typed.edge_types[rev]
+
+    def test_id_range(self, small_unweighted_graph):
+        typed = assign_random_types(small_unweighted_graph, 4, seed=4)
+        assert typed.edge_types.max() < num_symmetric_edge_types(4)
+
+    def test_pair_encoding_distinct(self):
+        # all unordered pairs over 3 types get distinct ids
+        g = generators.complete_graph(3)
+        ids = set()
+        for types in ([0, 1, 2],):
+            et = derive_edge_types(g, np.array(types, dtype=np.int16), 3)
+            ids.update(et.tolist())
+        assert len(ids) == 3  # pairs (0,1), (0,2), (1,2)
+
+    def test_num_symmetric_edge_types(self):
+        assert num_symmetric_edge_types(1) == 1
+        assert num_symmetric_edge_types(3) == 6
+
+
+class TestAcademicGraph:
+    def test_structure(self, academic):
+        graph, labels = academic
+        assert graph.num_node_types == 3
+        # bipartite-ish structure: authors only touch papers
+        author_nodes = np.flatnonzero(graph.node_types == AUTHOR_TYPE)
+        for a in author_nodes[:20]:
+            nbr_types = graph.node_types[graph.neighbors(int(a))]
+            assert np.all(nbr_types == PAPER_TYPE)
+
+    def test_venues_touch_only_papers(self, academic):
+        graph, __ = academic
+        venues = np.flatnonzero(graph.node_types == VENUE_TYPE)
+        for v in venues:
+            assert np.all(graph.node_types[graph.neighbors(int(v))] == PAPER_TYPE)
+
+    def test_labels_cover_authors(self, academic):
+        graph, labels = academic
+        num_authors = int((graph.node_types == AUTHOR_TYPE).sum())
+        assert labels.num_labeled == num_authors
+        assert labels.num_classes >= 2
+
+    def test_every_paper_has_author_and_venue(self, academic):
+        graph, __ = academic
+        papers = np.flatnonzero(graph.node_types == PAPER_TYPE)
+        for p in papers[:50]:
+            nbr_types = set(graph.node_types[graph.neighbors(int(p))].tolist())
+            assert AUTHOR_TYPE in nbr_types
+            assert VENUE_TYPE in nbr_types
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            academic_graph(num_areas=1)
+        with pytest.raises(GraphError):
+            academic_graph(num_venues=2, num_areas=4)
+
+    def test_deterministic(self):
+        a, __ = academic_graph(num_authors=50, num_papers=80, num_venues=6, seed=9)
+        b, __ = academic_graph(num_authors=50, num_papers=80, num_venues=6, seed=9)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_weighted_variant(self):
+        g, __ = academic_graph(num_authors=40, num_papers=60, num_venues=6, weight_mode="uniform", seed=1)
+        assert g.is_weighted

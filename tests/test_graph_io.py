@@ -1,0 +1,112 @@
+"""Tests for graph file IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import generators
+from repro.graph.io import (
+    load_edge_list,
+    load_node_types,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
+
+
+class TestEdgeList:
+    def test_round_trip_unweighted(self, tmp_path, small_unweighted_graph):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_unweighted_graph, path)
+        back = load_edge_list(path, directed=True)
+        assert np.array_equal(back.offsets, small_unweighted_graph.offsets)
+        assert np.array_equal(back.targets, small_unweighted_graph.targets)
+
+    def test_round_trip_weighted(self, tmp_path, tiny_weighted_graph):
+        path = tmp_path / "g.txt"
+        save_edge_list(tiny_weighted_graph, path)
+        back = load_edge_list(path, directed=True, weighted=True)
+        assert np.allclose(back.weights, tiny_weighted_graph.weights)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edge_entries == 4
+
+    def test_undirected_load_symmetrises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = load_edge_list(path)
+        assert g.has_edge(1, 0)
+
+    def test_missing_weight_column_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path, weighted=True)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+
+class TestNodeTypes:
+    def test_load_node_types(self, tmp_path):
+        path = tmp_path / "types.txt"
+        path.write_text("0 1\n1 0\n2 2\n")
+        types = load_node_types(path, 3)
+        assert types.tolist() == [1, 0, 2]
+
+    def test_missing_assignment_raises(self, tmp_path):
+        path = tmp_path / "types.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError):
+            load_node_types(path, 2)
+
+    def test_out_of_range_node_raises(self, tmp_path):
+        path = tmp_path / "types.txt"
+        path.write_text("5 1\n")
+        with pytest.raises(GraphFormatError):
+            load_node_types(path, 2)
+
+
+class TestNpz:
+    def test_round_trip_plain(self, tmp_path, small_unweighted_graph):
+        path = tmp_path / "g.npz"
+        save_npz(small_unweighted_graph, path)
+        back = load_npz(path)
+        assert np.array_equal(back.targets, small_unweighted_graph.targets)
+        assert back.weights is None
+
+    def test_round_trip_typed_weighted(self, tmp_path, academic):
+        graph, __ = academic
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        back = load_npz(path)
+        assert np.array_equal(back.node_types, graph.node_types)
+        assert np.array_equal(back.edge_types, graph.edge_types)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_npz(tmp_path / "nope.npz")
+
+
+def test_generated_graph_survives_both_formats(tmp_path):
+    g = generators.erdos_renyi(60, 5.0, seed=1, weight_mode="uniform")
+    p1 = tmp_path / "a.txt"
+    p2 = tmp_path / "b.npz"
+    save_edge_list(g, p1)
+    save_npz(g, p2)
+    from_txt = load_edge_list(p1, directed=True, weighted=True)
+    from_npz = load_npz(p2)
+    assert np.array_equal(from_txt.targets, from_npz.targets)
+    assert np.allclose(from_txt.weights, from_npz.weights, atol=1e-9)

@@ -1,0 +1,132 @@
+"""Tests for the table harness and the top-level public API surface."""
+
+import numpy as np
+import pytest
+
+from repro.harness.tables import format_table, print_table
+
+
+class TestFormatTable:
+    def test_dict_rows(self):
+        text = format_table(["a", "b"], [{"a": 1, "b": 2.5}], title="T")
+        assert "T" in text
+        assert "1" in text and "2.5" in text
+
+    def test_sequence_rows(self):
+        text = format_table(["x"], [[None], [True], [False]])
+        lines = text.splitlines()
+        assert lines[-3].strip() == "-"
+        assert lines[-2].strip() == "yes"
+        assert lines[-1].strip() == "no"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.001234], [123456.0], [float("nan")]])
+        assert "0.00123" in text
+        assert "1.23e+05" in text or "123456" in text
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_missing_dict_key_renders_dash(self):
+        text = format_table(["a", "b"], [{"a": 1}])
+        assert "| -" in text or "- " in text.splitlines()[-1]
+
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+    def test_print_table(self, capsys):
+        print_table(["a"], [[1]])
+        assert "a" in capsys.readouterr().out
+
+
+class TestPublicApi:
+    def test_lazy_attributes_resolve(self):
+        import repro
+
+        assert repro.UniNet.__name__ == "UniNet"
+        assert repro.CSRGraph.__name__ == "CSRGraph"
+        assert repro.GraphBuilder.__name__ == "GraphBuilder"
+        assert repro.NodeLabels.__name__ == "NodeLabels"
+        assert hasattr(repro.datasets, "load")
+        assert repro.WalkConfig is not None
+        assert repro.TrainConfig is not None
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_dir_lists_public_names(self):
+        import repro
+
+        names = dir(repro)
+        assert "UniNet" in names and "datasets" in names
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_errors_hierarchy(self):
+        from repro import errors
+
+        for exc in (
+            errors.GraphError,
+            errors.SamplerError,
+            errors.ModelError,
+            errors.WalkError,
+            errors.VocabularyError,
+            errors.TrainingError,
+            errors.EvaluationError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+        assert issubclass(errors.SimulatedOutOfMemoryError, errors.SamplerError)
+        assert not issubclass(errors.SimulatedOutOfMemoryError, MemoryError)
+
+    def test_oom_error_payload(self):
+        from repro.errors import SimulatedOutOfMemoryError
+
+        err = SimulatedOutOfMemoryError(2000, 1000, "alias")
+        assert err.required_bytes == 2000
+        assert err.budget_bytes == 1000
+        assert "alias" in str(err)
+
+
+class TestFailureInjection:
+    def test_corrupt_npz_graph(self, tmp_path):
+        import numpy as np
+
+        from repro.errors import GraphError
+        from repro.graph.io import load_npz
+
+        path = tmp_path / "bad.npz"
+        # offsets inconsistent with targets
+        np.savez(path, offsets=np.array([0, 5]), targets=np.array([0]))
+        with pytest.raises(GraphError):
+            load_npz(path)
+
+    def test_corpus_with_negative_interior_tolerated_by_iter(self):
+        """Padding must only appear after the recorded length."""
+        from repro.walks.corpus import WalkCorpus
+
+        corpus = WalkCorpus(np.array([[3, 4, -1]]), np.array([2]))
+        assert list(corpus.iter_walks())[0].tolist() == [3, 4]
+
+    def test_keyed_vectors_empty_query(self):
+        from repro.embedding import KeyedVectors
+        from repro.errors import VocabularyError
+
+        kv = KeyedVectors(np.array([0]), np.ones((1, 2)))
+        with pytest.raises(VocabularyError):
+            kv.vector(-1)
+
+    def test_builder_rejects_giant_declared_mismatch(self):
+        from repro.errors import GraphError
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder(num_nodes=2)
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 5)  # exceeds declared space
+        with pytest.raises(GraphError):
+            builder.build()

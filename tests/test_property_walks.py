@@ -1,0 +1,123 @@
+"""Property-based tests on walk/sampler invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import from_edge_arrays
+from repro.sampling import DirectSampler, MetropolisHastingsSampler
+from repro.sampling.base import NO_EDGE
+from repro.walks.models import make_model
+from repro.walks.state import WalkerState
+from repro.walks.vectorized import VectorizedWalkEngine
+
+
+def _graph_from_edges(edges, n):
+    src = np.array([e[0] for e in edges])
+    dst = np.array([e[1] for e in edges])
+    return from_edge_arrays(src, dst, num_nodes=n, duplicate_policy="first")
+
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda e: e[0] != e[1]),
+    min_size=3,
+    max_size=25,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edges_strategy, seed=st.integers(0, 500))
+def test_property_mh_samples_stay_in_row(edges, seed):
+    """Every M-H sample must be an out-edge of the walker's current node."""
+    g = _graph_from_edges(edges, 8)
+    model = make_model("node2vec", g, p=0.5, q=2.0)
+    sampler = MetropolisHastingsSampler(g, model, initializer="random")
+    rng = np.random.default_rng(seed)
+    for v in range(g.num_nodes):
+        if g.degree(v) == 0:
+            continue
+        s = int(g.neighbors(v)[0])
+        state = WalkerState(current=v, previous=s, prev_edge_offset=g.edge_index(s, v), step=1)
+        for __ in range(5):
+            off = sampler.sample(g, model, state, rng)
+            if off == NO_EDGE:
+                break
+            lo, hi = g.edge_range(v)
+            assert lo <= off < hi
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges=edges_strategy, seed=st.integers(0, 500))
+def test_property_walks_are_paths(edges, seed):
+    """Every consecutive pair of a generated walk must be an edge."""
+    g = _graph_from_edges(edges, 8)
+    eng = VectorizedWalkEngine(g, "deepwalk", sampler="mh", seed=seed)
+    corpus = eng.generate(num_walks=1, walk_length=6)
+    for walk in corpus.iter_walks():
+        for a, b in zip(walk[:-1], walk[1:]):
+            assert g.has_edge(int(a), int(b))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=edges_strategy,
+    seed=st.integers(0, 500),
+    p=st.floats(0.1, 10.0),
+    q=st.floats(0.1, 10.0),
+)
+def test_property_direct_sampler_support(edges, seed, p, q):
+    """Direct samples land only on positive-dynamic-weight edges."""
+    g = _graph_from_edges(edges, 8)
+    model = make_model("node2vec", g, p=p, q=q)
+    sampler = DirectSampler()
+    rng = np.random.default_rng(seed)
+    for v in range(g.num_nodes):
+        if g.degree(v) == 0:
+            continue
+        s = int(g.neighbors(v)[0])
+        state = WalkerState(current=v, previous=s, prev_edge_offset=g.edge_index(s, v), step=1)
+        off = sampler.sample(g, model, state, rng)
+        if off != NO_EDGE:
+            assert model.dynamic_weight(g, state, off) > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(edges=edges_strategy, seed=st.integers(0, 200), length=st.integers(1, 8))
+def test_property_corpus_shape_invariants(edges, seed, length):
+    """Corpus lengths are within [1, walk_length]; padding only after end."""
+    g = _graph_from_edges(edges, 8)
+    eng = VectorizedWalkEngine(g, "deepwalk", sampler="direct", seed=seed)
+    corpus = eng.generate(num_walks=1, walk_length=length)
+    assert corpus.lengths.min() >= 1
+    assert corpus.lengths.max() <= length
+    for i, walk_len in enumerate(corpus.lengths):
+        row = corpus.walks[i]
+        assert np.all(row[:walk_len] >= 0)
+        assert np.all(row[walk_len:] == -1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    weights=st.lists(st.floats(0.01, 100.0), min_size=2, max_size=20),
+    seed=st.integers(0, 300),
+)
+def test_property_mh_chain_matches_direct_on_star(weights, seed):
+    """On a star row, long-run M-H frequencies approximate the exact law."""
+    n = len(weights)
+    src = np.zeros(n, dtype=np.int64)
+    dst = np.arange(1, n + 1, dtype=np.int64)
+    g = from_edge_arrays(src, dst, np.array(weights), num_nodes=n + 1,
+                         duplicate_policy="first")
+    model = make_model("deepwalk", g)
+    sampler = MetropolisHastingsSampler(g, model, initializer="high-weight")
+    rng = np.random.default_rng(seed)
+    state = WalkerState(current=0)
+    counts = np.zeros(n)
+    lo, __ = g.edge_range(0)
+    draws = 4000
+    for __ in range(draws):
+        counts[sampler.sample(g, model, state, rng) - lo] += 1
+    expected = np.array(weights) / np.sum(weights)
+    # loose bound: dependent samples, small run
+    assert 0.5 * np.abs(counts / draws - expected).sum() < 0.25

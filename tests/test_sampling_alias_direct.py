@@ -1,0 +1,203 @@
+"""Tests for the alias and direct samplers (distribution exactness)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplerError
+from repro.sampling import (
+    DirectSampler,
+    FirstOrderAliasSampler,
+    SecondOrderAliasSampler,
+)
+from repro.sampling.alias import AliasTable, FirstOrderAliasStore, build_alias_table
+from repro.sampling.base import NO_EDGE, draw_from_weights
+from repro.walks.models import make_model
+from repro.walks.state import WalkerState
+
+
+def tv_distance(p, q):
+    return 0.5 * float(np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+def alias_exact_probs(threshold, alias):
+    """Analytic outcome distribution implied by an alias table."""
+    d = threshold.size
+    probs = np.zeros(d)
+    for k in range(d):
+        probs[k] += threshold[k] / d
+        probs[alias[k]] += (1.0 - threshold[k]) / d
+    return probs
+
+
+class TestBuildAliasTable:
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            [1.0],
+            [1.0, 1.0],
+            [0.1, 0.9],
+            [5.0, 1.0, 1.0, 1.0],
+            [0.0, 1.0, 0.0, 3.0],
+            list(range(1, 20)),
+        ],
+    )
+    def test_tables_encode_exact_distribution(self, weights):
+        w = np.asarray(weights, dtype=float)
+        threshold, alias = build_alias_table(w)
+        assert tv_distance(alias_exact_probs(threshold, alias), w / w.sum()) < 1e-12
+
+    def test_rejects_empty(self):
+        with pytest.raises(SamplerError):
+            build_alias_table(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(SamplerError):
+            build_alias_table(np.array([1.0, -0.5]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(SamplerError):
+            build_alias_table(np.array([0.0, 0.0]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        weights=st.lists(
+            st.floats(0.0, 100.0), min_size=1, max_size=30
+        ).filter(lambda w: sum(w) > 1e-9)
+    )
+    def test_property_exactness(self, weights):
+        w = np.asarray(weights)
+        threshold, alias = build_alias_table(w)
+        assert tv_distance(alias_exact_probs(threshold, alias), w / w.sum()) < 1e-9
+
+
+class TestAliasTableDraws:
+    def test_scalar_draw_distribution(self, rng):
+        w = np.array([1.0, 3.0, 6.0])
+        table = AliasTable(w)
+        counts = np.bincount([table.draw(rng) for __ in range(30000)], minlength=3)
+        assert tv_distance(counts / counts.sum(), w / w.sum()) < 0.02
+
+    def test_batch_matches_scalar_statistics(self, rng):
+        w = np.array([2.0, 1.0, 1.0, 4.0])
+        table = AliasTable(w)
+        draws = table.draw_batch(rng, 40000)
+        counts = np.bincount(draws, minlength=4)
+        assert tv_distance(counts / counts.sum(), w / w.sum()) < 0.02
+
+
+class TestFirstOrderAliasStore:
+    def test_uniform_for_unweighted(self, small_unweighted_graph, rng):
+        store = FirstOrderAliasStore(small_unweighted_graph)
+        assert store.uniform
+        assert store.memory_bytes() == 0
+        v = int(np.argmax(small_unweighted_graph.degrees()))
+        lo, hi = small_unweighted_graph.edge_range(v)
+        draws = store.draw_batch(np.full(20000, v), rng)
+        counts = np.bincount(draws - lo, minlength=hi - lo)
+        assert tv_distance(counts / counts.sum(), np.full(hi - lo, 1.0 / (hi - lo))) < 0.03
+
+    def test_weighted_distribution(self, tiny_weighted_graph, rng):
+        store = FirstOrderAliasStore(tiny_weighted_graph)
+        lo, hi = tiny_weighted_graph.edge_range(0)
+        draws = np.array([store.draw(0, rng) for __ in range(40000)])
+        counts = np.bincount(draws - lo, minlength=hi - lo)
+        w = tiny_weighted_graph.neighbor_weights(0)
+        assert tv_distance(counts / counts.sum(), w / w.sum()) < 0.02
+
+    def test_isolated_node_gives_no_edge(self, rng):
+        from repro.graph.builder import from_edge_arrays
+
+        g = from_edge_arrays([0], [1], [1.0], num_nodes=3)
+        store = FirstOrderAliasStore(g)
+        assert store.draw(2, rng) == NO_EDGE
+        batch = store.draw_batch(np.array([2, 0]), rng)
+        assert batch[0] == NO_EDGE and batch[1] != NO_EDGE
+
+
+class TestDrawFromWeights:
+    def test_exactness(self, rng):
+        w = np.array([0.5, 0.0, 1.5, 2.0])
+        counts = np.zeros(4)
+        for __ in range(40000):
+            counts[draw_from_weights(w, rng)] += 1
+        assert counts[1] == 0
+        assert tv_distance(counts / counts.sum(), w / w.sum()) < 0.02
+
+    def test_all_zero_returns_sentinel(self, rng):
+        assert draw_from_weights(np.zeros(3), rng) == NO_EDGE
+
+
+class TestDirectSampler:
+    def test_matches_exact_node2vec_distribution(self, tiny_weighted_graph, rng):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.25, q=4.0)
+        state = WalkerState(current=0, previous=3, prev_edge_offset=g.edge_index(3, 0), step=1)
+        exact = model.dynamic_weights_row(g, state)
+        exact = exact / exact.sum()
+        sampler = DirectSampler()
+        lo, __ = g.edge_range(0)
+        counts = np.zeros(g.degree(0))
+        for __ in range(40000):
+            counts[sampler.sample(g, model, state, rng) - lo] += 1
+        assert tv_distance(counts / counts.sum(), exact) < 0.02
+
+    def test_dead_state_returns_no_edge(self, academic, rng):
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APA")
+        # at step 1 "APA" targets authors, but a venue only touches papers
+        venue = int(np.flatnonzero(graph.node_types == 2)[0])
+        state = WalkerState(current=venue, step=1)
+        assert sampler_returns_no_edge(DirectSampler(), graph, model, state, rng)
+
+    def test_stats_counting(self, tiny_weighted_graph, rng):
+        model = make_model("deepwalk", tiny_weighted_graph)
+        sampler = DirectSampler()
+        state = WalkerState(current=0)
+        for __ in range(10):
+            sampler.sample(tiny_weighted_graph, model, state, rng)
+        assert sampler.stats.samples == 10
+        sampler.reset_stats()
+        assert sampler.stats.samples == 0
+
+
+def sampler_returns_no_edge(sampler, graph, model, state, rng):
+    return sampler.sample(graph, model, state, rng) == NO_EDGE
+
+
+class TestSecondOrderAliasSampler:
+    def test_matches_exact_distribution(self, tiny_weighted_graph, rng):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        sampler = SecondOrderAliasSampler(g, model)
+        state = WalkerState(current=0, previous=3, prev_edge_offset=g.edge_index(3, 0), step=1)
+        exact = model.dynamic_weights_row(g, state)
+        exact = exact / exact.sum()
+        lo, __ = g.edge_range(0)
+        counts = np.zeros(g.degree(0))
+        for __ in range(40000):
+            counts[sampler.sample(g, model, state, rng) - lo] += 1
+        assert tv_distance(counts / counts.sum(), exact) < 0.02
+
+    def test_tables_cached_per_state(self, tiny_weighted_graph, rng):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        sampler = SecondOrderAliasSampler(g, model)
+        state = WalkerState(current=0, previous=3, prev_edge_offset=g.edge_index(3, 0), step=1)
+        for __ in range(5):
+            sampler.sample(g, model, state, rng)
+        assert sampler.num_cached_tables == 1
+        assert sampler.stats.initializations == 1
+
+    def test_first_order_alias_sampler(self, tiny_weighted_graph, rng):
+        g = tiny_weighted_graph
+        model = make_model("deepwalk", g)
+        sampler = FirstOrderAliasSampler(g)
+        state = WalkerState(current=0)
+        lo, __ = g.edge_range(0)
+        counts = np.zeros(g.degree(0))
+        for __ in range(40000):
+            counts[sampler.sample(g, model, state, rng) - lo] += 1
+        w = g.neighbor_weights(0)
+        assert tv_distance(counts / counts.sum(), w / w.sum()) < 0.02

@@ -1,0 +1,168 @@
+"""Tests for the memory-aware sampler and the simulated memory budget."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplerError, SimulatedOutOfMemoryError
+from repro.sampling import (
+    MemoryAwareSampler,
+    MemoryBudget,
+    MetropolisHastingsSampler,
+    RejectionSampler,
+    SecondOrderAliasSampler,
+    sampler_memory_estimate,
+)
+from repro.sampling.memory_aware import assign_states_greedily
+from repro.sampling.memory_model import (
+    ALIAS_ENTRY_BYTES,
+    first_order_alias_bytes,
+    mh_bytes,
+    rejection_bytes,
+    second_order_alias_bytes,
+)
+from repro.walks.models import make_model
+from repro.walks.state import WalkerState
+
+
+def tv_distance(p, q):
+    return 0.5 * float(np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+class TestMemoryBudget:
+    def test_charge_within_budget(self):
+        budget = MemoryBudget(1000)
+        budget.charge(600)
+        assert budget.remaining_bytes == 400
+
+    def test_charge_over_budget_raises(self):
+        budget = MemoryBudget(1000)
+        with pytest.raises(SimulatedOutOfMemoryError) as err:
+            budget.charge(1500, "alias")
+        assert err.value.required_bytes == 1500
+        assert err.value.what == "alias"
+
+    def test_cumulative_charges(self):
+        budget = MemoryBudget(1000)
+        budget.charge(600)
+        with pytest.raises(SimulatedOutOfMemoryError):
+            budget.charge(600)
+
+    def test_release(self):
+        budget = MemoryBudget(1000)
+        budget.charge(800)
+        budget.release(500)
+        budget.charge(600)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(10).charge(-1)
+
+
+class TestEstimates:
+    def test_ordering_matches_paper(self, small_power_law_graph):
+        """alias(2nd) >> rejection >= M-H-scale structures >> direct."""
+        g = small_power_law_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        alias2 = sampler_memory_estimate("alias", g, model)
+        rej = sampler_memory_estimate("rejection", g, model)
+        mh = sampler_memory_estimate("mh", g, model)
+        direct = sampler_memory_estimate("direct", g, model)
+        assert alias2 > rej > direct
+        assert alias2 > mh > direct
+        # M-H stores one int per state; rejection needs a full alias table
+        assert rej > mh / 2
+
+    def test_mh_bytes_formula(self, small_power_law_graph):
+        g = small_power_law_graph
+        model = make_model("node2vec", g, p=1, q=1)
+        assert mh_bytes(g, model) == 8 * g.num_edge_entries
+
+    def test_alias_second_order_formula(self, small_power_law_graph):
+        g = small_power_law_graph
+        model = make_model("node2vec", g, p=1, q=1)
+        degrees = g.degrees()
+        expected = int(degrees[g.targets].sum()) * ALIAS_ENTRY_BYTES
+        assert second_order_alias_bytes(g, model) == expected
+
+    def test_rejection_free_for_unweighted(self, small_unweighted_graph):
+        assert rejection_bytes(small_unweighted_graph) < 1024
+
+    def test_rejection_costs_alias_for_weighted(self, small_power_law_graph):
+        assert rejection_bytes(small_power_law_graph) == first_order_alias_bytes(
+            small_power_law_graph
+        )
+
+    def test_unknown_kind(self, small_power_law_graph):
+        model = make_model("deepwalk", small_power_law_graph)
+        with pytest.raises(ValueError):
+            sampler_memory_estimate("bogus", small_power_law_graph, model)
+
+
+class TestBudgetEnforcement:
+    def test_alias_ooms_under_tight_budget(self, small_power_law_graph):
+        g = small_power_law_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        budget = MemoryBudget(second_order_alias_bytes(g, model) // 2)
+        with pytest.raises(SimulatedOutOfMemoryError):
+            SecondOrderAliasSampler(g, model, budget=budget)
+
+    def test_mh_fits_where_alias_ooms(self, small_power_law_graph):
+        g = small_power_law_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        budget = MemoryBudget(second_order_alias_bytes(g, model) // 2)
+        MetropolisHastingsSampler(g, model, budget=budget)  # must not raise
+
+    def test_rejection_charges_budget(self, small_power_law_graph):
+        g = small_power_law_graph
+        budget = MemoryBudget(rejection_bytes(g) + 64)
+        RejectionSampler(g, budget=budget)
+        assert budget.used_bytes >= rejection_bytes(g)
+
+
+class TestMemoryAwareSampler:
+    def test_assignment_respects_budget(self, small_power_law_graph):
+        g = small_power_law_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        budget_bytes = 40_000
+        mask = assign_states_greedily(g, model, budget_bytes)
+        cost = int(model.state_table_degrees(g)[mask].sum()) * ALIAS_ENTRY_BYTES
+        assert cost <= budget_bytes
+
+    def test_assignment_prefers_high_degree_states(self, small_power_law_graph):
+        g = small_power_law_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        mask = assign_states_greedily(g, model, 20_000)
+        table_degrees = model.state_table_degrees(g)
+        if mask.any() and not mask.all():
+            assert table_degrees[mask].min() >= np.median(table_degrees[~mask])
+
+    def test_zero_budget_means_all_direct(self, tiny_weighted_graph, rng):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        sampler = MemoryAwareSampler(g, model, table_budget_bytes=0)
+        assert sampler.num_assigned_states == 0
+        state = WalkerState(current=0, previous=3, prev_edge_offset=g.edge_index(3, 0), step=1)
+        assert sampler.sample(g, model, state, rng) >= 0
+
+    def test_distribution_exact_in_both_regimes(self, tiny_weighted_graph, rng):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.25, q=4.0)
+        state = WalkerState(current=0, previous=3, prev_edge_offset=g.edge_index(3, 0), step=1)
+        exact = model.dynamic_weights_row(g, state)
+        exact = exact / exact.sum()
+        lo, __ = g.edge_range(0)
+        for budget_bytes in (0, 10_000_000):
+            sampler = MemoryAwareSampler(g, model, table_budget_bytes=budget_bytes)
+            counts = np.zeros(g.degree(0))
+            for __ in range(30000):
+                counts[sampler.sample(g, model, state, rng) - lo] += 1
+            assert tv_distance(counts / counts.sum(), exact) < 0.025
+
+    def test_negative_budget_rejected(self, tiny_weighted_graph):
+        model = make_model("deepwalk", tiny_weighted_graph)
+        with pytest.raises(SamplerError):
+            MemoryAwareSampler(tiny_weighted_graph, model, table_budget_bytes=-1)

@@ -1,0 +1,221 @@
+"""Tests for the M-H edge sampler and its initialization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplerError
+from repro.sampling import MetropolisHastingsSampler
+from repro.sampling.base import NO_EDGE
+from repro.sampling.initialization import (
+    BurnInInitializer,
+    HighWeightInitializer,
+    RandomInitializer,
+    make_initializer,
+)
+from repro.walks.manager import ChainStore
+from repro.walks.models import make_model
+from repro.walks.state import WalkerState
+
+
+def tv_distance(p, q):
+    return 0.5 * float(np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+@pytest.fixture
+def n2v_setup(tiny_weighted_graph):
+    g = tiny_weighted_graph
+    model = make_model("node2vec", g, p=0.25, q=4.0)
+    state = WalkerState(current=0, previous=3, prev_edge_offset=g.edge_index(3, 0), step=1)
+    return g, model, state
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("initializer", ["random", "high-weight", "burn-in"])
+    def test_chain_converges_to_target(self, n2v_setup, rng, initializer):
+        g, model, state = n2v_setup
+        sampler = MetropolisHastingsSampler(g, model, initializer=initializer)
+        exact = model.dynamic_weights_row(g, state)
+        exact = exact / exact.sum()
+        lo, __ = g.edge_range(0)
+        counts = np.zeros(g.degree(0))
+        for __ in range(60000):
+            counts[sampler.sample(g, model, state, rng) - lo] += 1
+        assert tv_distance(counts / counts.sum(), exact) < 0.02
+
+    def test_uniform_target_exact_immediately(self, small_unweighted_graph, rng):
+        """For deepwalk on unweighted graphs every proposal is accepted."""
+        g = small_unweighted_graph
+        model = make_model("deepwalk", g)
+        sampler = MetropolisHastingsSampler(g, model)
+        v = int(np.argmax(g.degrees()))
+        state = WalkerState(current=v)
+        lo, hi = g.edge_range(v)
+        counts = np.zeros(hi - lo)
+        for __ in range(30000):
+            counts[sampler.sample(g, model, state, rng) - lo] += 1
+        uniform = np.full(hi - lo, 1.0 / (hi - lo))
+        assert tv_distance(counts / counts.sum(), uniform) < 0.03
+
+    def test_metapath_chain_stays_in_support(self, academic, rng):
+        """Zero-weight (wrong-type) edges must never be emitted."""
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APA")
+        sampler = MetropolisHastingsSampler(graph, model, initializer="random")
+        authors = np.flatnonzero(graph.node_types == 0)
+        for a in authors[:30]:
+            state = WalkerState(current=int(a), step=0)
+            for __ in range(20):
+                off = sampler.sample(graph, model, state, rng)
+                if off == NO_EDGE:
+                    break
+                # step 0 of APA targets type P(=1)
+                assert graph.node_types[graph.targets[off]] == 1
+
+
+class TestChainMechanics:
+    def test_memory_is_one_slot_per_state(self, n2v_setup):
+        g, model, __ = n2v_setup
+        sampler = MetropolisHastingsSampler(g, model)
+        assert sampler.last.size == g.num_edge_entries
+        assert MetropolisHastingsSampler.memory_bytes(g, model) == 8 * g.num_edge_entries
+
+    def test_lazy_initialization_counted(self, n2v_setup, rng):
+        g, model, state = n2v_setup
+        sampler = MetropolisHastingsSampler(g, model)
+        assert sampler.num_initialized_states == 0
+        sampler.sample(g, model, state, rng)
+        assert sampler.num_initialized_states == 1
+        assert sampler.stats.initializations == 1
+        sampler.sample(g, model, state, rng)
+        assert sampler.stats.initializations == 1  # only first touch
+
+    def test_reset_chains(self, n2v_setup, rng):
+        g, model, state = n2v_setup
+        sampler = MetropolisHastingsSampler(g, model)
+        sampler.sample(g, model, state, rng)
+        sampler.reset_chains()
+        assert sampler.num_initialized_states == 0
+
+    def test_isolated_node_returns_no_edge(self, rng):
+        from repro.graph.builder import from_edge_arrays
+
+        g = from_edge_arrays([0], [1], num_nodes=3)
+        model = make_model("deepwalk", g)
+        sampler = MetropolisHastingsSampler(g, model)
+        assert sampler.sample(g, model, WalkerState(current=2), rng) == NO_EDGE
+
+    def test_shared_chain_store(self, n2v_setup, rng):
+        g, model, state = n2v_setup
+        store = ChainStore(g, model)
+        sampler = MetropolisHastingsSampler(g, model, chain_store=store)
+        sampler.sample(g, model, state, rng)
+        assert store.num_initialized == 1
+
+    def test_mismatched_chain_store_rejected(self, n2v_setup):
+        g, model, __ = n2v_setup
+        other_model = make_model("deepwalk", g)
+        store = ChainStore(g, other_model)
+        with pytest.raises(ValueError):
+            MetropolisHastingsSampler(g, model, chain_store=store)
+
+
+class TestInitializers:
+    def test_make_initializer_names(self):
+        assert isinstance(make_initializer("random"), RandomInitializer)
+        assert isinstance(make_initializer("high-weight"), HighWeightInitializer)
+        assert isinstance(make_initializer("burn-in"), BurnInInitializer)
+        custom = RandomInitializer()
+        assert make_initializer(custom) is custom
+
+    def test_make_initializer_unknown(self):
+        with pytest.raises(SamplerError):
+            make_initializer("bogus")
+        with pytest.raises(SamplerError):
+            make_initializer(42)
+
+    def test_high_weight_picks_argmax(self, n2v_setup, rng):
+        g, model, state = n2v_setup
+        init = HighWeightInitializer(sample_cap=None)
+        off = init.initialize(g, model, state, rng)
+        weights = model.dynamic_weights_row(g, state)
+        lo, __ = g.edge_range(state.current)
+        assert off - lo == int(np.argmax(weights))
+
+    def test_high_weight_capped_returns_positive(self, small_power_law_graph, rng):
+        g = small_power_law_graph
+        model = make_model("deepwalk", g)
+        init = HighWeightInitializer(sample_cap=4)
+        v = int(np.argmax(g.degrees()))
+        off = init.initialize(g, model, WalkerState(current=v), rng)
+        assert off != NO_EDGE
+        assert g.edge_weight_at(off) > 0
+
+    def test_high_weight_invalid_cap(self):
+        with pytest.raises(SamplerError):
+            HighWeightInitializer(sample_cap=0)
+
+    def test_random_init_avoids_zero_weight(self, academic, rng):
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APA")
+        init = RandomInitializer()
+        authors = np.flatnonzero(graph.node_types == 0)
+        for a in authors[:20]:
+            state = WalkerState(current=int(a), step=0)
+            off = init.initialize(graph, model, state, rng)
+            if off != NO_EDGE:
+                assert model.dynamic_weight(graph, state, off) > 0
+
+    def test_burn_in_iterations_validated(self):
+        with pytest.raises(SamplerError):
+            BurnInInitializer(iterations=-1)
+
+    def test_burn_in_runs(self, n2v_setup, rng):
+        g, model, state = n2v_setup
+        init = BurnInInitializer(iterations=50)
+        off = init.initialize(g, model, state, rng)
+        assert off != NO_EDGE
+
+    def test_dead_state_returns_no_edge(self, rng):
+        from repro.graph.builder import from_edge_arrays
+
+        g = from_edge_arrays([0], [1], num_nodes=3)
+        typed = g.with_node_types(np.array([0, 0, 1], dtype=np.int16))
+        model = make_model("metapath2vec", typed, metapath=[0, 1, 0])
+        # node 0 must move to type 1 but its only neighbour has type 0
+        state = WalkerState(current=0, step=0)
+        for strategy in ("random", "high-weight", "burn-in"):
+            init = make_initializer(strategy)
+            assert init.initialize(typed, model, state, rng) == NO_EDGE
+
+
+class TestHighWeightVsRandomAccuracy:
+    def test_high_weight_better_on_skewed_target(self, rng):
+        """Early-sample accuracy: high-weight starts in the high-probability
+        region, so short sample runs approximate skewed targets better
+        (the Fig. 1 / Theorem 3 effect at the sampler level)."""
+        from repro.graph.builder import from_edge_arrays
+
+        # star-ish weighted row: one dominant edge among 20
+        n = 21
+        src = np.zeros(20, dtype=np.int64)
+        dst = np.arange(1, 21, dtype=np.int64)
+        w = np.full(20, 0.01)
+        w[7] = 10.0
+        g = from_edge_arrays(src, dst, w, num_nodes=n, duplicate_policy="first")
+        model = make_model("deepwalk", g)
+        exact = g.neighbor_weights(0)
+        exact = exact / exact.sum()
+        lo, __ = g.edge_range(0)
+        errors = {}
+        for strategy in ("random", "high-weight"):
+            err = []
+            for trial in range(200):
+                sampler = MetropolisHastingsSampler(g, model, initializer=strategy)
+                local_rng = np.random.default_rng(1000 + trial)
+                counts = np.zeros(20)
+                state = WalkerState(current=0)
+                for __ in range(10):  # short run: init effects dominate
+                    counts[sampler.sample(g, model, state, local_rng) - lo] += 1
+                err.append(tv_distance(counts / counts.sum(), exact))
+            errors[strategy] = np.mean(err)
+        assert errors["high-weight"] < errors["random"]

@@ -1,0 +1,236 @@
+"""Tests for the reference and vectorized walk engines.
+
+The key scientific checks: walks respect model constraints, engines agree
+with each other statistically, and per-sampler behaviour (acceptance,
+table counts, first-step handling) matches the design.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkError
+from repro.walks.engine import ReferenceWalkEngine
+from repro.walks.models import make_model
+from repro.walks.vectorized import EagerStateAliasTables, VectorizedWalkEngine
+
+
+def transition_counts(corpus, num_nodes):
+    """(src, dst) transition count matrix over a corpus."""
+    counts = np.zeros((num_nodes, num_nodes))
+    for walk in corpus.iter_walks():
+        if walk.size > 1:
+            np.add.at(counts, (walk[:-1], walk[1:]), 1)
+    return counts
+
+
+def tv_rows(a, b):
+    """Mean TV distance between corresponding normalised rows."""
+    tvs = []
+    for row_a, row_b in zip(a, b):
+        sa, sb = row_a.sum(), row_b.sum()
+        if sa < 50 or sb < 50:
+            continue
+        tvs.append(0.5 * np.abs(row_a / sa - row_b / sb).sum())
+    return float(np.mean(tvs))
+
+
+class TestReferenceEngine:
+    def test_walk_lengths(self, small_unweighted_graph):
+        eng = ReferenceWalkEngine(small_unweighted_graph, "deepwalk", seed=1)
+        corpus = eng.generate(num_walks=2, walk_length=15)
+        assert corpus.num_walks == 2 * small_unweighted_graph.num_nodes
+        assert corpus.lengths.max() <= 15
+
+    def test_walks_follow_edges(self, small_unweighted_graph):
+        g = small_unweighted_graph
+        eng = ReferenceWalkEngine(g, "deepwalk", seed=2)
+        corpus = eng.generate(num_walks=1, walk_length=10)
+        for walk in list(corpus.iter_walks())[:50]:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert g.has_edge(int(a), int(b))
+
+    def test_start_nodes_respected(self, small_unweighted_graph):
+        eng = ReferenceWalkEngine(small_unweighted_graph, "deepwalk", seed=3)
+        corpus = eng.generate(num_walks=3, walk_length=5, start_nodes=[7, 9])
+        starts = corpus.walks[:, 0]
+        assert set(starts.tolist()) == {7, 9}
+
+    def test_invalid_sampler_name(self, small_unweighted_graph):
+        with pytest.raises(WalkError):
+            ReferenceWalkEngine(small_unweighted_graph, "deepwalk", sampler="bogus")
+
+    def test_memory_aware_needs_budget(self, small_unweighted_graph):
+        with pytest.raises(WalkError):
+            ReferenceWalkEngine(small_unweighted_graph, "deepwalk", sampler="memory-aware")
+
+    def test_dead_end_terminates_walk(self):
+        from repro.graph.builder import from_edge_arrays
+
+        g = from_edge_arrays([0], [1], num_nodes=2, directed=True)
+        eng = ReferenceWalkEngine(g, "deepwalk", seed=4)
+        walk = eng.walk(0, 10)
+        assert walk == [0, 1]
+
+
+class TestVectorizedEngine:
+    @pytest.mark.parametrize("sampler", ["mh", "direct", "rejection", "knightking", "alias"])
+    def test_all_samplers_produce_valid_walks(self, small_power_law_graph, sampler):
+        g = small_power_law_graph
+        eng = VectorizedWalkEngine(g, "node2vec", sampler=sampler, p=0.5, q=2.0, seed=5)
+        corpus = eng.generate(num_walks=1, walk_length=12)
+        assert corpus.num_walks == g.num_nodes
+        for walk in list(corpus.iter_walks())[:30]:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert g.has_edge(int(a), int(b))
+
+    def test_alias_first_order_restricted_to_static(self, small_power_law_graph):
+        with pytest.raises(WalkError):
+            VectorizedWalkEngine(
+                small_power_law_graph, "node2vec", sampler="alias-first-order"
+            )
+
+    def test_deepwalk_alias_resolves_to_first_order(self, small_power_law_graph):
+        eng = VectorizedWalkEngine(small_power_law_graph, "deepwalk", sampler="alias")
+        assert eng.stepper.name == "alias-first-order"
+
+    def test_memory_aware_requires_budget(self, small_power_law_graph):
+        with pytest.raises(WalkError):
+            VectorizedWalkEngine(small_power_law_graph, "node2vec", sampler="memory-aware")
+
+    def test_stats_exposed(self, small_power_law_graph):
+        eng = VectorizedWalkEngine(
+            small_power_law_graph, "node2vec", sampler="rejection", p=0.25, q=1.0, seed=6
+        )
+        eng.generate(num_walks=1, walk_length=10)
+        stats = eng.stats()
+        assert 0 < stats["acceptance_ratio"] <= 1.0
+        assert stats["setup_seconds"] >= 0.0
+
+    def test_mh_chains_persist_across_waves(self, small_power_law_graph):
+        eng = VectorizedWalkEngine(small_power_law_graph, "node2vec", sampler="mh", seed=7)
+        eng.generate(num_walks=1, walk_length=10)
+        first = eng.stepper.chains.num_initialized
+        eng.generate(num_walks=1, walk_length=10)
+        assert eng.stepper.chains.num_initialized >= first
+
+    def test_empty_start_set_rejected(self, academic):
+        graph, __ = academic
+        eng = VectorizedWalkEngine(graph, "metapath2vec", metapath="APA", seed=8)
+        with pytest.raises(WalkError):
+            eng.generate(num_walks=1, walk_length=5, start_nodes=np.array([], dtype=np.int64))
+
+    def test_metapath_walks_respect_types(self, academic):
+        graph, __ = academic
+        eng = VectorizedWalkEngine(graph, "metapath2vec", metapath="APVPA", seed=9)
+        corpus = eng.generate(num_walks=1, walk_length=9)
+        pattern = [0, 1, 2, 1, 0, 1, 2, 1, 0]
+        for walk in list(corpus.iter_walks())[:40]:
+            types = graph.node_types[walk]
+            assert types.tolist() == pattern[: walk.size]
+
+    def test_fairwalk_group_balance(self):
+        """Fairwalk must equalise visits across neighbour groups."""
+        from repro.graph.builder import from_edge_arrays
+
+        # node 0: nine type-1 neighbours, one type-2 neighbour
+        src = np.zeros(10, dtype=np.int64)
+        dst = np.arange(1, 11)
+        g = from_edge_arrays(src, dst, num_nodes=11)
+        types = np.zeros(11, dtype=np.int16)
+        types[1:10] = 1
+        types[10] = 2
+        typed = g.with_node_types(types)
+        eng = VectorizedWalkEngine(typed, "fairwalk", sampler="direct", p=1, q=1, seed=10)
+        corpus = eng.generate(num_walks=400, walk_length=2, start_nodes=[0])
+        seconds = corpus.walks[:, 1]
+        frac_type2 = float((seconds == 10).mean())
+        assert abs(frac_type2 - 0.5) < 0.06  # two groups -> ~half each
+
+    @pytest.mark.parametrize("initializer", ["random", "high-weight", "burn-in"])
+    def test_mh_initializers_run(self, small_power_law_graph, initializer):
+        eng = VectorizedWalkEngine(
+            small_power_law_graph,
+            "node2vec",
+            sampler="mh",
+            initializer=initializer,
+            p=0.5,
+            q=2.0,
+            seed=11,
+        )
+        corpus = eng.generate(num_walks=1, walk_length=8)
+        assert corpus.token_count > 0
+        assert eng.stats()["init_seconds"] >= 0.0
+
+    def test_unknown_initializer(self, small_power_law_graph):
+        with pytest.raises(WalkError):
+            VectorizedWalkEngine(small_power_law_graph, "node2vec", initializer="bogus")
+
+
+class TestEngineAgreement:
+    """Vectorized and reference engines must sample the same walk law."""
+
+    @pytest.mark.parametrize(
+        "model_name,params,samplers",
+        [
+            ("deepwalk", {}, ["mh", "direct", "alias"]),
+            ("node2vec", {"p": 0.25, "q": 4.0}, ["mh", "direct", "rejection"]),
+        ],
+    )
+    def test_transition_statistics_match(self, tiny_weighted_graph, model_name, params, samplers):
+        g = tiny_weighted_graph
+        reference = ReferenceWalkEngine(g, model_name, sampler="direct", seed=1, **params)
+        ref_counts = transition_counts(
+            reference.generate(num_walks=250, walk_length=12), g.num_nodes
+        )
+        for sampler in samplers:
+            eng = VectorizedWalkEngine(g, model_name, sampler=sampler, seed=2, **params)
+            vec_counts = transition_counts(
+                eng.generate(num_walks=250, walk_length=12), g.num_nodes
+            )
+            # M-H draws are *dependent* (one chain per state), so its
+            # empirical rows carry autocorrelation-inflated variance;
+            # exact samplers get a tight bound.
+            tolerance = 0.09 if sampler == "mh" else 0.05
+            assert tv_rows(ref_counts, vec_counts) < tolerance, sampler
+
+    def test_metapath_engines_agree(self, academic):
+        graph, __ = academic
+        ref = ReferenceWalkEngine(graph, "metapath2vec", sampler="direct", metapath="APA", seed=3)
+        vec = VectorizedWalkEngine(graph, "metapath2vec", sampler="mh", metapath="APA", seed=4)
+        ref_counts = transition_counts(ref.generate(num_walks=20, walk_length=9), graph.num_nodes)
+        vec_counts = transition_counts(vec.generate(num_walks=20, walk_length=9), graph.num_nodes)
+        assert tv_rows(ref_counts, vec_counts) < 0.12
+
+
+class TestEagerStateAliasTables:
+    def test_tables_built_for_valid_states(self, tiny_weighted_graph):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        tables = EagerStateAliasTables(g, model)
+        assert tables.num_tables == g.num_edge_entries
+        assert tables.memory_bytes() == model.alias_entries(g) * 16
+
+    def test_mask_restricts_tables(self, tiny_weighted_graph):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        mask = np.zeros(g.num_edge_entries, dtype=bool)
+        mask[:4] = True
+        tables = EagerStateAliasTables(g, model, state_mask=mask)
+        assert tables.num_tables <= 4
+
+    def test_draw_distribution(self, tiny_weighted_graph, rng):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.25, q=4.0)
+        tables = EagerStateAliasTables(g, model)
+        idx = g.edge_index(3, 0)  # state (3 -> 0)
+        from repro.walks.state import WalkerState
+
+        state = WalkerState(current=0, previous=3, prev_edge_offset=idx, step=1)
+        exact = model.dynamic_weights_row(g, state)
+        exact = exact / exact.sum()
+        lo, __ = g.edge_range(0)
+        draws = tables.draw(
+            np.full(40000, idx), np.zeros(40000, dtype=np.int64), rng
+        )
+        counts = np.bincount(draws - lo, minlength=g.degree(0))
+        assert 0.5 * np.abs(counts / counts.sum() - exact).sum() < 0.02

@@ -1,0 +1,309 @@
+"""Tests for the five random-walk models and the unified abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.graph.builder import from_edge_arrays
+from repro.walks.models import MODELS, make_model
+from repro.walks.state import NO_PREVIOUS, WalkerState
+
+
+class TestRegistry:
+    def test_all_five_models_present(self):
+        assert set(MODELS) == {"deepwalk", "node2vec", "metapath2vec", "edge2vec", "fairwalk"}
+
+    def test_make_model_by_name(self, small_unweighted_graph):
+        model = make_model("deepwalk", small_unweighted_graph)
+        assert model.name == "deepwalk"
+
+    def test_make_model_passthrough(self, small_unweighted_graph):
+        model = make_model("deepwalk", small_unweighted_graph)
+        assert make_model(model, small_unweighted_graph) is model
+
+    def test_unknown_model(self, small_unweighted_graph):
+        with pytest.raises(ModelError):
+            make_model("gnn", small_unweighted_graph)
+
+    def test_heterogeneous_models_need_types(self, small_unweighted_graph):
+        for name in ("metapath2vec", "fairwalk"):
+            with pytest.raises(ModelError):
+                make_model(name, small_unweighted_graph)
+
+    def test_edge2vec_needs_edge_types(self, typed_graph):
+        # typed_graph has node+edge types, so this works
+        make_model("edge2vec", typed_graph)
+        # but a graph with node types only does not
+        bare = typed_graph.with_node_types(typed_graph.node_types, None)
+        with pytest.raises(ModelError):
+            make_model("edge2vec", bare)
+
+
+class TestDeepWalk:
+    def test_dynamic_equals_static(self, tiny_weighted_graph):
+        model = make_model("deepwalk", tiny_weighted_graph)
+        state = WalkerState(current=0)
+        row = model.dynamic_weights_row(tiny_weighted_graph, state)
+        assert np.allclose(row, tiny_weighted_graph.neighbor_weights(0))
+
+    def test_state_space_is_nodes(self, tiny_weighted_graph):
+        model = make_model("deepwalk", tiny_weighted_graph)
+        assert model.state_space_size(tiny_weighted_graph) == 5
+        assert model.state_index(tiny_weighted_graph, WalkerState(current=3)) == 3
+
+    def test_is_static_flag(self, tiny_weighted_graph):
+        assert make_model("deepwalk", tiny_weighted_graph).is_static
+        assert not make_model("node2vec", tiny_weighted_graph).is_static
+
+
+class TestNode2Vec:
+    def test_alpha_classes(self, tiny_weighted_graph):
+        """Eq. 2: w/p for the return edge, w for d=1, w/q for d=2."""
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        state = WalkerState(current=0, previous=3, prev_edge_offset=g.edge_index(3, 0), step=1)
+        # neighbours of 0: 1 (adj to 3), 2 (adj to 3), 3 (return), 4 (adj to 3)
+        w_ret = model.calculate_weight(state, g.edge_index(0, 3))
+        assert w_ret == pytest.approx(0.5 / 0.5)  # w=0.5, alpha=1/p=2
+        w_d1 = model.calculate_weight(state, g.edge_index(0, 1))
+        assert w_d1 == pytest.approx(1.0)  # w=1, alpha=1 (3-1 edge exists)
+
+    def test_distance_two_case(self):
+        # path 0-1-2 plus 1-3: from state (0,1), node 3 is at distance 2 from 0
+        g = from_edge_arrays([0, 1, 1], [1, 2, 3], num_nodes=4)
+        model = make_model("node2vec", g, p=1.0, q=4.0)
+        state = WalkerState(current=1, previous=0, prev_edge_offset=g.edge_index(0, 1), step=1)
+        assert model.calculate_weight(state, g.edge_index(1, 3)) == pytest.approx(0.25)
+
+    def test_first_step_uses_static(self, tiny_weighted_graph):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.1, q=10.0)
+        state = WalkerState(current=0)
+        assert state.at_start
+        row = model.dynamic_weights_row(g, state)
+        assert np.allclose(row, g.neighbor_weights(0))
+
+    def test_state_space_is_edges(self, tiny_weighted_graph):
+        model = make_model("node2vec", tiny_weighted_graph)
+        assert model.state_space_size(tiny_weighted_graph) == tiny_weighted_graph.num_edge_entries
+
+    def test_start_state_has_no_index(self, tiny_weighted_graph):
+        model = make_model("node2vec", tiny_weighted_graph)
+        with pytest.raises(ModelError):
+            model.state_index(tiny_weighted_graph, WalkerState(current=0))
+
+    def test_invalid_params(self, tiny_weighted_graph):
+        with pytest.raises(ModelError):
+            make_model("node2vec", tiny_weighted_graph, p=0.0)
+        with pytest.raises(ModelError):
+            make_model("node2vec", tiny_weighted_graph, q=-1.0)
+
+    def test_alpha_bound(self, tiny_weighted_graph):
+        model = make_model("node2vec", tiny_weighted_graph, p=0.25, q=4.0)
+        assert model.alpha_bound(tiny_weighted_graph) == 4.0
+
+    def test_batch_matches_scalar(self, tiny_weighted_graph):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g, p=0.25, q=4.0)
+        state = WalkerState(current=0, previous=3, prev_edge_offset=g.edge_index(3, 0), step=1)
+        lo, hi = g.edge_range(0)
+        offs = np.arange(lo, hi)
+        batch = model.batch_dynamic_weight(
+            np.full(offs.size, 3), np.full(offs.size, g.edge_index(3, 0)),
+            np.full(offs.size, 0), 1, offs,
+        )
+        scalar = [model.calculate_weight(state, int(o)) for o in offs]
+        assert np.allclose(batch, scalar)
+
+    def test_fold_outliers_only_when_profitable(self, tiny_weighted_graph):
+        g = tiny_weighted_graph
+        state = WalkerState(current=0, previous=3, prev_edge_offset=g.edge_index(3, 0), step=1)
+        folding = make_model("node2vec", g, p=0.1, q=1.0)
+        offsets, bulk = folding.fold_outliers(g, state)
+        assert offsets.tolist() == [g.edge_index(0, 3)]
+        assert bulk == 1.0
+        no_fold = make_model("node2vec", g, p=2.0, q=1.0)
+        assert no_fold.fold_outliers(g, state) is None
+
+    def test_update_state(self, tiny_weighted_graph):
+        g = tiny_weighted_graph
+        model = make_model("node2vec", g)
+        state = WalkerState(current=0)
+        off = g.edge_index(0, 2)
+        new = model.update_state(state, off)
+        assert new.current == 2
+        assert new.previous == 0
+        assert new.prev_edge_offset == off
+        assert new.step == 1
+
+
+class TestMetaPath2Vec:
+    def test_target_type_cycles(self, academic):
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APVPA")
+        expected = [1, 2, 1, 0, 1, 2, 1, 0]  # P V P A repeating
+        assert [model.target_type(s) for s in range(8)] == expected
+
+    def test_non_cyclic_rejected(self, academic):
+        graph, __ = academic
+        with pytest.raises(ModelError):
+            make_model("metapath2vec", graph, metapath="AP")
+
+    def test_type_out_of_range_rejected(self, academic):
+        graph, __ = academic
+        with pytest.raises(ModelError):
+            make_model("metapath2vec", graph, metapath=[0, 7, 0])
+
+    def test_valid_start_nodes(self, academic):
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APA")
+        starts = model.valid_start_nodes()
+        assert np.all(graph.node_types[starts] == 0)
+
+    def test_weights_zero_off_path(self, academic):
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APA")
+        author = int(np.flatnonzero(graph.node_types == 0)[0])
+        state = WalkerState(current=author, step=0)
+        row = model.dynamic_weights_row(graph, state)
+        nbr_types = graph.node_types[graph.neighbors(author)]
+        assert np.all((row > 0) == (nbr_types == 1))
+
+    def test_state_space_size(self, academic):
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APA")
+        assert model.state_space_size(graph) == graph.num_nodes * graph.num_node_types
+
+    def test_state_index_layout(self, academic):
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APA")
+        state = WalkerState(current=5, step=0)
+        assert model.state_index(graph, state) == 5 * graph.num_node_types + 1
+
+
+class TestEdge2Vec:
+    def test_matrix_modulates_weight(self, academic):
+        graph, __ = academic
+        t = graph.num_edge_types
+        matrix = np.ones((t, t))
+        # author-paper edges have the symmetric pair id of types (0, 1)
+        ap = 1
+        matrix[ap, ap] = 0.0
+        model = make_model("edge2vec", graph, p=1.0, q=1.0, transition_matrix=matrix)
+        author = int(np.flatnonzero(graph.node_types == 0)[0])
+        paper = int(graph.neighbors(author)[0])
+        off_in = graph.edge_index(author, paper)
+        state = WalkerState(current=paper, previous=author, prev_edge_offset=off_in, step=1)
+        row = model.dynamic_weights_row(graph, state)
+        nbr_types = graph.node_types[graph.neighbors(paper)]
+        # transitions AP -> PA are zeroed; AP -> PV keep weight
+        assert np.all(row[nbr_types == 0] == 0)
+        assert np.all(row[nbr_types == 2] > 0)
+
+    def test_bad_matrix_shape(self, academic):
+        graph, __ = academic
+        with pytest.raises(ModelError):
+            make_model("edge2vec", graph, transition_matrix=np.ones((2, 2)))
+
+    def test_negative_matrix_rejected(self, academic):
+        graph, __ = academic
+        t = graph.num_edge_types
+        with pytest.raises(ModelError):
+            make_model("edge2vec", graph, transition_matrix=-np.ones((t, t)))
+
+    def test_alpha_bound_includes_matrix(self, academic):
+        graph, __ = academic
+        t = graph.num_edge_types
+        matrix = np.full((t, t), 0.5)
+        model = make_model("edge2vec", graph, p=0.25, q=1.0, transition_matrix=matrix)
+        assert model.alpha_bound(graph) == pytest.approx(2.0)
+
+    def test_default_matrix_reduces_to_node2vec(self, academic):
+        graph, __ = academic
+        e2v = make_model("edge2vec", graph, p=0.5, q=2.0)
+        n2v = make_model("node2vec", graph, p=0.5, q=2.0)
+        author = int(np.flatnonzero(graph.node_types == 0)[0])
+        paper = int(graph.neighbors(author)[0])
+        off = graph.edge_index(author, paper)
+        state = WalkerState(current=paper, previous=author, prev_edge_offset=off, step=1)
+        assert np.allclose(
+            e2v.dynamic_weights_row(graph, state), n2v.dynamic_weights_row(graph, state)
+        )
+
+
+class TestFairWalk:
+    def test_group_mass_equalised(self):
+        """Eq. 5: each neighbour *type* gets equal total unnormalised mass."""
+        # node 0 has 3 neighbours of type 1 and 1 neighbour of type 2
+        g = from_edge_arrays([0, 0, 0, 0], [1, 2, 3, 4], num_nodes=5)
+        typed = g.with_node_types(np.array([0, 1, 1, 1, 2], dtype=np.int16))
+        model = make_model("fairwalk", typed, p=1.0, q=1.0)
+        state = WalkerState(current=0)
+        row = model.dynamic_weights_row(typed, state)
+        nbr_types = typed.node_types[typed.neighbors(0)]
+        mass_t1 = row[nbr_types == 1].sum()
+        mass_t2 = row[nbr_types == 2].sum()
+        assert mass_t1 == pytest.approx(mass_t2)
+
+    def test_type_counts_precomputed(self, academic):
+        graph, __ = academic
+        model = make_model("fairwalk", graph)
+        paper = int(np.flatnonzero(graph.node_types == 1)[0])
+        nbr_types = graph.node_types[graph.neighbors(paper)]
+        for t in range(graph.num_node_types):
+            assert model.type_counts[paper, t] == (nbr_types == t).sum()
+
+    def test_alpha_bound(self, academic):
+        graph, __ = academic
+        model = make_model("fairwalk", graph, p=0.2, q=2.0)
+        assert model.alpha_bound(graph) == pytest.approx(5.0)
+
+    def test_batch_matches_scalar(self, academic):
+        graph, __ = academic
+        model = make_model("fairwalk", graph, p=0.5, q=2.0)
+        author = int(np.flatnonzero(graph.node_types == 0)[0])
+        paper = int(graph.neighbors(author)[0])
+        off = graph.edge_index(author, paper)
+        state = WalkerState(current=paper, previous=author, prev_edge_offset=off, step=1)
+        lo, hi = graph.edge_range(paper)
+        offs = np.arange(lo, hi)
+        batch = model.batch_dynamic_weight(
+            np.full(offs.size, author), np.full(offs.size, off),
+            np.full(offs.size, paper), 1, offs,
+        )
+        scalar = [model.calculate_weight(state, int(o)) for o in offs]
+        assert np.allclose(batch, scalar)
+
+
+class TestStateContexts:
+    @pytest.mark.parametrize("name", ["deepwalk", "node2vec"])
+    def test_context_shapes(self, small_unweighted_graph, name):
+        g = small_unweighted_graph
+        model = make_model(name, g)
+        ctx = model.enumerate_state_contexts(g)
+        size = model.state_space_size(g)
+        for key in ("prev", "prev_off", "cur", "step", "valid"):
+            assert ctx[key].shape == (size,)
+
+    def test_second_order_contexts_consistent(self, small_unweighted_graph):
+        g = small_unweighted_graph
+        model = make_model("node2vec", g)
+        ctx = model.enumerate_state_contexts(g)
+        # state e = directed edge (prev -> cur)
+        assert np.array_equal(ctx["cur"], g.targets)
+        assert np.array_equal(ctx["prev"], g.edge_sources())
+
+    def test_metapath_contexts_mark_offpath_invalid(self, academic):
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APA")
+        ctx = model.enumerate_state_contexts(graph)
+        # type V(=2) never appears as a target of "APA"
+        idx_type = np.tile(np.arange(graph.num_node_types), graph.num_nodes)
+        assert not ctx["valid"][idx_type == 2].any()
+
+    def test_state_table_degrees(self, small_unweighted_graph):
+        g = small_unweighted_graph
+        model = make_model("node2vec", g)
+        table_deg = model.state_table_degrees(g)
+        assert np.array_equal(table_deg, g.degrees()[g.targets])
+        assert model.alias_entries(g) == int(table_deg.sum())

@@ -1,0 +1,209 @@
+"""Tests for walk-support machinery: state, segments, manager, corpus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WalkError
+from repro.walks._segments import concat_ranges, segment_argmax, segment_sample, segment_sums
+from repro.walks.corpus import WalkCorpus
+from repro.walks.manager import ChainStore
+from repro.walks.models import make_model
+from repro.walks.state import NO_PREVIOUS, WalkerState
+
+
+class TestWalkerState:
+    def test_initial_state(self):
+        state = WalkerState(current=4)
+        assert state.at_start
+        assert state.previous == NO_PREVIOUS
+
+    def test_advanced(self, tiny_weighted_graph):
+        g = tiny_weighted_graph
+        off = g.edge_index(0, 2)
+        state = WalkerState(current=0).advanced(g, off)
+        assert state.current == 2
+        assert state.previous == 0
+        assert state.prev_edge_offset == off
+        assert state.step == 1
+        assert not state.at_start
+
+
+class TestSegments:
+    def test_concat_ranges_basic(self):
+        flat, seg = concat_ranges(np.array([5, 20]), np.array([3, 2]))
+        assert flat.tolist() == [5, 6, 7, 20, 21]
+        assert seg.tolist() == [0, 0, 0, 1, 1]
+
+    def test_concat_ranges_with_empty_segment(self):
+        flat, seg = concat_ranges(np.array([5, 9, 30]), np.array([2, 0, 1]))
+        assert flat.tolist() == [5, 6, 30]
+        assert seg.tolist() == [0, 0, 2]
+
+    def test_concat_ranges_all_empty(self):
+        flat, seg = concat_ranges(np.array([1, 2]), np.array([0, 0]))
+        assert flat.size == 0 and seg.size == 0
+
+    def test_segment_sums(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        sums = segment_sums(values, np.array([2, 0, 2]))
+        assert sums.tolist() == [3.0, 0.0, 7.0]
+
+    def test_segment_sample_exact(self, rng):
+        values = np.tile([1.0, 3.0], 1)  # one segment of [1, 3]
+        counts = np.zeros(2)
+        for __ in range(20000):
+            pos = segment_sample(np.array([1.0, 3.0]), np.array([2]), rng)
+            counts[pos[0]] += 1
+        assert abs(counts[1] / counts.sum() - 0.75) < 0.02
+
+    def test_segment_sample_skips_zero_weights(self, rng):
+        for __ in range(200):
+            pos = segment_sample(np.array([0.0, 1.0, 0.0]), np.array([3]), rng)
+            assert pos[0] == 1
+
+    def test_segment_sample_zero_and_empty_segments(self, rng):
+        values = np.array([0.0, 0.0, 5.0])
+        pos = segment_sample(values, np.array([2, 0, 1]), rng)
+        assert pos.tolist() == [-1, -1, 0]
+
+    def test_segment_argmax(self):
+        values = np.array([1.0, 9.0, 2.0, 7.0, 3.0])
+        pos = segment_argmax(values, np.array([3, 0, 2]))
+        assert pos.tolist() == [1, -1, 0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(0, 6), min_size=1, max_size=8),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_segment_ops_match_loops(self, lengths, seed):
+        rng = np.random.default_rng(seed)
+        lengths = np.array(lengths)
+        values = rng.random(int(lengths.sum()))
+        sums = segment_sums(values, lengths)
+        arg = segment_argmax(values, lengths)
+        cursor = 0
+        for i, ln in enumerate(lengths):
+            chunk = values[cursor : cursor + ln]
+            cursor += ln
+            if ln == 0:
+                assert arg[i] == -1
+                assert sums[i] == pytest.approx(0.0)
+            else:
+                assert sums[i] == pytest.approx(chunk.sum())
+                assert chunk[arg[i]] == pytest.approx(chunk.max())
+
+
+class TestChainStore:
+    def test_size_and_reset(self, small_unweighted_graph):
+        g = small_unweighted_graph
+        model = make_model("node2vec", g)
+        store = ChainStore(g, model)
+        assert store.size == g.num_edge_entries
+        assert store.num_initialized == 0
+        store.last[5] = 7
+        assert store.num_initialized == 1
+        store.reset()
+        assert store.num_initialized == 0
+
+    def test_memory_matches_paper_formula(self, small_unweighted_graph):
+        g = small_unweighted_graph
+        model = make_model("node2vec", g)
+        assert ChainStore(g, model).memory_bytes() == 8 * g.num_edge_entries
+
+    def test_decompose_second_order(self, small_unweighted_graph):
+        g = small_unweighted_graph
+        model = make_model("node2vec", g)
+        store = ChainStore(g, model)
+        for off in (0, 17, g.num_edge_entries - 1):
+            position, affixture = store.decompose(off)
+            lo, hi = g.edge_range(position)
+            assert lo <= off < hi
+            assert affixture == off - lo
+
+    def test_decompose_first_order(self, small_unweighted_graph):
+        g = small_unweighted_graph
+        model = make_model("deepwalk", g)
+        store = ChainStore(g, model)
+        assert store.decompose(3) == (3, 0)
+
+    def test_decompose_metapath(self, academic):
+        graph, __ = academic
+        model = make_model("metapath2vec", graph, metapath="APA")
+        store = ChainStore(graph, model)
+        num_types = graph.num_node_types
+        assert store.decompose(7 * num_types + 2) == (7, 2)
+
+
+class TestWalkCorpus:
+    def test_from_lists(self):
+        corpus = WalkCorpus.from_lists([[1, 2, 3], [4, 5]])
+        assert corpus.num_walks == 2
+        assert corpus.token_count == 5
+        walks = list(corpus.iter_walks())
+        assert walks[0].tolist() == [1, 2, 3]
+        assert walks[1].tolist() == [4, 5]
+
+    def test_empty(self):
+        corpus = WalkCorpus.from_lists([])
+        assert corpus.num_walks == 0
+        assert corpus.token_count == 0
+
+    def test_validation(self):
+        with pytest.raises(WalkError):
+            WalkCorpus(np.array([1, 2, 3]), np.array([3]))
+        with pytest.raises(WalkError):
+            WalkCorpus(np.array([[1, 2]]), np.array([5]))
+
+    def test_node_frequencies(self):
+        corpus = WalkCorpus.from_lists([[0, 1, 1], [2]])
+        freq = corpus.node_frequencies(4)
+        assert freq.tolist() == [1, 2, 1, 0]
+
+    def test_nodes_visited(self):
+        corpus = WalkCorpus.from_lists([[3, 1], [1, 5]])
+        assert corpus.nodes_visited().tolist() == [1, 3, 5]
+
+    def test_merge(self):
+        a = WalkCorpus.from_lists([[0, 1, 2]])
+        b = WalkCorpus.from_lists([[3]])
+        merged = WalkCorpus.merge([a, b])
+        assert merged.num_walks == 2
+        assert merged.token_count == 4
+        assert list(merged.iter_walks())[1].tolist() == [3]
+
+    def test_merge_empty(self):
+        assert WalkCorpus.merge([]).num_walks == 0
+
+    def test_save_load(self, tmp_path):
+        corpus = WalkCorpus.from_lists([[0, 1], [2, 3, 4]])
+        path = tmp_path / "c.npz"
+        corpus.save_npz(path)
+        back = WalkCorpus.load_npz(path)
+        assert np.array_equal(back.walks, corpus.walks)
+        assert np.array_equal(back.lengths, corpus.lengths)
+
+    def test_len_and_repr(self):
+        corpus = WalkCorpus.from_lists([[0, 1]])
+        assert len(corpus) == 1
+        assert "tokens=2" in repr(corpus)
+
+    def test_text_round_trip(self, tmp_path):
+        corpus = WalkCorpus.from_lists([[0, 1, 2], [5], [3, 4]])
+        path = tmp_path / "walks.txt"
+        corpus.save_text(path)
+        back = WalkCorpus.load_text(path)
+        assert [w.tolist() for w in back.iter_walks()] == [[0, 1, 2], [5], [3, 4]]
+
+    def test_statistics(self):
+        corpus = WalkCorpus.from_lists([[0, 1, 2], [3, 4]])
+        stats = corpus.statistics()
+        assert stats["num_walks"] == 2
+        assert stats["mean_length"] == 2.5
+        assert stats["truncated_walks"] == 1
+        assert stats["distinct_nodes"] == 5
+
+    def test_statistics_empty(self):
+        assert WalkCorpus.from_lists([]).statistics()["num_walks"] == 0
