@@ -33,6 +33,23 @@ def record_table(name: str, headers, rows, *, title: str | None = None) -> str:
     return text
 
 
+def run_specs(base_spec, variations, **run_kwargs):
+    """Run one :class:`~repro.core.spec.RunSpec` per variation dict.
+
+    ``variations`` is a list of ``{dotted-path: value}`` override dicts
+    applied to ``base_spec`` (e.g. ``{"model_params.p": 0.25,
+    "sampler": "rejection"}``) — the declarative form of the
+    multi-configuration loops the benchmarks used to hand-roll. Returns
+    the :class:`~repro.core.runner.RunReport` list, aligned with
+    ``variations``. Keyword arguments (e.g. a pre-seeded
+    ``graph_cache`` to keep dataset synthesis out of timed regions) are
+    forwarded to :func:`repro.core.runner.run_many`.
+    """
+    from repro.core.runner import expand_variations, run_many
+
+    return run_many(expand_variations(base_spec, variations), **run_kwargs)
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under the benchmark fixture.
 

@@ -4,55 +4,74 @@ One workload (node2vec on a LiveJournal-like weighted graph), all six
 samplers — the paper's Tables VI/VII condensed to a single screen,
 including the simulated-memory OOM behaviour.
 
+The sweep is one declarative :class:`~repro.core.spec.RunSpec` per
+configuration executed by :func:`repro.run_many` — no hand-rolled
+engine loops.
+
 Run:  python examples/sampler_showdown.py
 """
 
-from repro import UniNet, datasets
-from repro.core.pipeline import generate_walks
+from repro import GraphSpec, RunSpec, UniNet, WalkConfig, datasets, run_many
 from repro.errors import SimulatedOutOfMemoryError
 from repro.harness.tables import print_table
 from repro.sampling import MemoryBudget
 from repro.sampling.memory_model import sampler_memory_estimate
 from repro.walks.models import make_model
 
-SAMPLERS = [
-    ("mh (high-weight)", "mh", {"initializer": "high-weight"}),
-    ("mh (random)", "mh", {"initializer": "random"}),
-    ("mh (burn-in)", "mh", {"initializer": "burn-in"}),
-    ("direct", "direct", {}),
-    ("alias", "alias", {}),
-    ("rejection", "rejection", {}),
-    ("knightking", "knightking", {}),
-    ("memory-aware", "memory-aware", {}),
+#: (label, {spec overrides})
+CONFIGS = [
+    ("mh (high-weight)", {"sampler": "mh", "initializer": "high-weight"}),
+    ("mh (random)", {"sampler": "mh", "initializer": "random"}),
+    ("mh (burn-in)", {"sampler": "mh", "initializer": "burn-in"}),
+    ("direct", {"sampler": "direct"}),
+    ("alias", {"sampler": "alias"}),
+    ("rejection", {"sampler": "rejection"}),
+    ("knightking", {"sampler": "knightking"}),
+    ("memory-aware", {"sampler": "memory-aware"}),
 ]
 
 
 def main():
-    graph = datasets.load_graph("livejournal", scale=0.15, seed=2, weight_mode="uniform")
     p, q = 0.25, 4.0
+    graph_spec = GraphSpec(dataset="livejournal", scale=0.15, seed=2, weight_mode="uniform")
+    graph = datasets.load_graph("livejournal", scale=0.15, seed=2, weight_mode="uniform")
     model = make_model("node2vec", graph, p=p, q=q)
     print(f"workload: node2vec(p={p}, q={q}) on {graph}")
 
-    rows = []
-    for label, sampler, opts in SAMPLERS:
-        net = UniNet(graph, model="node2vec", sampler=sampler, p=p, q=q, seed=2, **opts)
-        config = net.walk_config(2, 40)
-        if sampler == "memory-aware":
-            config.table_budget_bytes = sampler_memory_estimate("mh", graph, model)
-        __, engine, timings = generate_walks(graph, net.model, config, seed=2)
-        stats = engine.stats()
-        rows.append(
-            {
-                "sampler": label,
-                "init_s": timings["init"],
-                "walk_s": timings["walk"],
-                "acceptance": stats["acceptance_ratio"],
-                "memory_bytes": engine.memory_bytes(),
-            }
+    base = RunSpec(
+        graph=graph_spec,
+        model="node2vec",
+        model_params={"p": p, "q": q},
+        walk=WalkConfig(num_walks=2, walk_length=40),
+        train=None,  # walk phase only
+        seed=2,
+    )
+    specs = []
+    for label, overrides in CONFIGS:
+        data = base.to_dict()
+        data["name"] = label
+        data["walk"].update(
+            {k: v for k, v in overrides.items() if k in ("sampler", "initializer")}
         )
+        if overrides["sampler"] == "memory-aware":
+            data["walk"]["table_budget_bytes"] = sampler_memory_estimate("mh", graph, model)
+        specs.append(RunSpec.from_dict(data))
+
+    # the graph is already materialised (for the budget estimates above);
+    # seed the sweep's cache so run_many does not load it again
+    reports = run_many(specs, graph_cache={graph_spec.cache_key(): (graph, None)})
     print_table(
         ["sampler", "init_s", "walk_s", "acceptance", "memory_bytes"],
-        rows,
+        [
+            {
+                "sampler": report.spec.name,
+                "init_s": report.ti,
+                "walk_s": report.tw,
+                "acceptance": report.sampler_stats["acceptance_ratio"],
+                "memory_bytes": report.sampler_memory_bytes,
+            }
+            for report in reports
+        ],
         title="all samplers, one workload (2 walks x 40 nodes per start)",
     )
 
@@ -68,7 +87,8 @@ def main():
                 budget=MemoryBudget(budget_bytes), seed=2,
             )
             net.generate_walks(1, 10)
-            print(f"  {label:7s}: fits and runs")
+            print(f"  {label:7s}: fits and runs "
+                  f"({net.last_walk.memory_bytes:,} resident bytes)")
         except SimulatedOutOfMemoryError as err:
             print(f"  {label:7s}: OOM ({err.required_bytes:,} bytes required)")
 

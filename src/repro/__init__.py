@@ -20,8 +20,14 @@ The public surface mirrors the paper's architecture:
   prediction protocols.
 * :mod:`repro.theory` — the convergence / initialization analysis behind
   Theorems 1-3 and Figure 1.
-* :mod:`repro.core` — the :class:`~repro.core.uninet.UniNet` facade tying
-  everything together.
+* :mod:`repro.registry` — the plugin layer: every component family
+  (models, samplers, initializers) is a :class:`~repro.registry.Registry`
+  that third-party code extends with ``@register_model`` /
+  ``@register_sampler`` — no package edits needed.
+* :mod:`repro.core` — the :class:`~repro.core.uninet.UniNet` facade plus
+  the declarative experiment layer: :class:`~repro.core.spec.RunSpec`
+  (experiments as JSON-serialisable data) executed by :func:`repro.run`
+  and swept by :func:`repro.run_many`.
 
 Quickstart::
 
@@ -32,6 +38,14 @@ Quickstart::
     result = net.train(num_walks=10, walk_length=80, dimensions=64)
     vectors = result.embeddings          # KeyedVectors
     print(vectors.most_similar(0, topn=5))
+
+Declarative form of the same experiment::
+
+    from repro import GraphSpec, RunSpec, run
+
+    spec = RunSpec(graph=GraphSpec(dataset="blogcatalog", scale=0.5, seed=7))
+    report = run(spec)                   # RunReport: timings, stats, metrics
+    print(report.tt, report.sampler_stats["acceptance_ratio"])
 """
 
 from importlib import import_module
@@ -43,6 +57,18 @@ _LAZY_ATTRS = {
     "UniNet": ("repro.core.uninet", "UniNet"),
     "WalkConfig": ("repro.core.config", "WalkConfig"),
     "TrainConfig": ("repro.core.config", "TrainConfig"),
+    "RunSpec": ("repro.core.spec", "RunSpec"),
+    "GraphSpec": ("repro.core.spec", "GraphSpec"),
+    "EvalSpec": ("repro.core.spec", "EvalSpec"),
+    "run": ("repro.core.runner", "run"),
+    "run_many": ("repro.core.runner", "run_many"),
+    "RunReport": ("repro.core.runner", "RunReport"),
+    "TrainResult": ("repro.core.pipeline", "TrainResult"),
+    "WalkResult": ("repro.core.pipeline", "WalkResult"),
+    "Registry": ("repro.registry", "Registry"),
+    "register_model": ("repro.registry", "register_model"),
+    "register_sampler": ("repro.registry", "register_sampler"),
+    "register_initializer": ("repro.registry", "register_initializer"),
     "CSRGraph": ("repro.graph.csr", "CSRGraph"),
     "GraphBuilder": ("repro.graph.builder", "GraphBuilder"),
     "NodeLabels": ("repro.graph.labels", "NodeLabels"),

@@ -5,7 +5,13 @@ Covers the common end-to-end flows without writing code:
 * ``stats``  — print Table-V-style statistics for a dataset or edge list;
 * ``walk``   — generate a walk corpus and save it (.npz);
 * ``train``  — full pipeline (walks + word2vec), saving KeyedVectors;
-* ``classify`` — node-classification sweep on a labeled synthetic dataset.
+* ``classify`` — node-classification sweep on a labeled synthetic dataset;
+* ``run``    — execute a declarative :class:`~repro.core.spec.RunSpec`
+  JSON file (with ``--set`` overrides) and report timings/metrics.
+
+Model flags (``--p``, ``--q``, ``--metapath``, ...) are generated from
+each registered model's ``param_spec``, so models registered by plugins
+get CLI support for free.
 
 Examples::
 
@@ -13,17 +19,51 @@ Examples::
     python -m repro train --dataset youtube --model node2vec --p 0.25 --q 4 \
         --output vectors.npz
     python -m repro classify --dataset blogcatalog --model deepwalk
+    python -m repro run --spec spec.json --set sampler=rejection
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.graph import datasets
 from repro.graph.io import load_edge_list
 from repro.graph.stats import graph_statistics
 from repro.harness.tables import format_table
+from repro.registry import MODEL_REGISTRY
+
+_PARAM_TYPES = {"float": float, "int": int, "str": str}
+
+
+def _cli_param_specs():
+    """CLI-exposable model parameters from the registry: name -> spec.
+
+    Parameters shared between models (node2vec/edge2vec/fairwalk all
+    declare ``p``/``q``) become one flag. Flags carry no default — each
+    model's own declared default applies when the flag is omitted — so
+    only a *type* conflict between two models' declarations matters,
+    and it is warned about (first registration wins the flag type).
+    """
+    merged = {}
+    for model_name in MODEL_REGISTRY:
+        param_spec = MODEL_REGISTRY.entry(model_name).capabilities.get("param_spec", {})
+        for pname, pspec in param_spec.items():
+            if not pspec.get("cli", True):
+                continue
+            seen = merged.get(pname)
+            if seen is None:
+                merged[pname] = pspec
+            elif seen.get("type", "str") != pspec.get("type", "str"):
+                print(
+                    f"warning: model {model_name!r} declares --{pname} as "
+                    f"{pspec.get('type', 'str')} but the flag is already "
+                    f"{seen.get('type', 'str')}; keeping the latter",
+                    file=sys.stderr,
+                )
+    return merged
 
 
 def _add_graph_args(parser):
@@ -36,14 +76,22 @@ def _add_graph_args(parser):
 
 
 def _add_walk_args(parser):
-    parser.add_argument("--model", default="deepwalk", help="random walk model name")
+    parser.add_argument(
+        "--model", default="deepwalk",
+        help=f"random walk model: {MODEL_REGISTRY.names()}",
+    )
     parser.add_argument("--sampler", default="mh", help="edge sampler")
     parser.add_argument("--initializer", default="high-weight", help="M-H init strategy")
     parser.add_argument("--num-walks", type=int, default=10)
     parser.add_argument("--walk-length", type=int, default=80)
-    parser.add_argument("--p", type=float, default=1.0)
-    parser.add_argument("--q", type=float, default=1.0)
-    parser.add_argument("--metapath", default="APA")
+    for pname, pspec in sorted(_cli_param_specs().items()):
+        parser.add_argument(
+            f"--{pname}",
+            type=_PARAM_TYPES.get(pspec.get("type", "str"), str),
+            default=None,  # omitted flag -> the chosen model's own default
+            help=pspec.get("help", f"model parameter {pname}")
+            + f" (default: {pspec.get('default')})",
+        )
 
 
 def _load_graph(args):
@@ -56,11 +104,24 @@ def _load_graph(args):
 
 
 def _model_params(args):
-    if args.model == "metapath2vec":
-        return {"metapath": args.metapath}
-    if args.model in ("node2vec", "edge2vec", "fairwalk"):
-        return {"p": args.p, "q": args.q}
-    return {}
+    """Parameters for the chosen model, derived from its ``param_spec``.
+
+    A flag the user did not pass falls back to the *chosen model's* own
+    declared default (not another model's), or is omitted entirely so
+    the constructor default applies.
+    """
+    param_spec = MODEL_REGISTRY.entry(args.model).capabilities.get("param_spec", {})
+    params = {}
+    for pname, pspec in param_spec.items():
+        attr = pname.replace("-", "_")
+        if not pspec.get("cli", True) or not hasattr(args, attr):
+            continue
+        value = getattr(args, attr)
+        if value is None:
+            value = pspec.get("default")
+        if value is not None:
+            params[pname] = value
+    return params
 
 
 def _cmd_stats(args) -> int:
@@ -145,6 +206,58 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _parse_override(item: str):
+    """Parse a ``--set key=value`` item; values are JSON when possible."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key:
+        raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+def _cmd_run(args) -> int:
+    from repro.core.runner import apply_override, run
+    from repro.errors import ReproError
+
+    try:
+        data = json.loads(Path(args.spec).read_text())
+    except OSError as err:
+        print(f"error: cannot read spec file: {err}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as err:
+        print(f"error: {args.spec} is not valid JSON: {err}", file=sys.stderr)
+        return 2
+    if not isinstance(data, dict):
+        print(
+            f"error: {args.spec} must contain a JSON object (a RunSpec), "
+            f"not {type(data).__name__}",
+            file=sys.stderr,
+        )
+        return 2
+    for item in args.set:
+        key, value = _parse_override(item)
+        apply_override(data, key, value)
+    try:
+        report = run(data)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    rows = [{"field": key, "value": value} for key, value in report.summary_row().items()]
+    print(format_table(["field", "value"], rows, title=f"run: {report.spec.label()}"))
+    for task, result in report.metrics.items():
+        if isinstance(result, list) and result and isinstance(result[0], dict):
+            print()
+            print(format_table(list(result[0]), result, title=task))
+    if args.output:
+        Path(args.output).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"[report written to {args.output}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
@@ -176,6 +289,16 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--fractions", type=float, nargs="+", default=[0.1, 0.5, 0.9])
     classify.add_argument("--trials", type=int, default=3)
     classify.set_defaults(func=_cmd_classify)
+
+    run_cmd = sub.add_parser("run", help="execute a declarative RunSpec JSON file")
+    run_cmd.add_argument("--spec", required=True, help="path to a RunSpec JSON file")
+    run_cmd.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override spec fields by dotted path (e.g. sampler=direct, "
+        "model_params.p=0.25, train.dimensions=64); repeatable",
+    )
+    run_cmd.add_argument("--output", help="also write the full RunReport JSON here")
+    run_cmd.set_defaults(func=_cmd_run)
     return parser
 
 

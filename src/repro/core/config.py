@@ -13,6 +13,14 @@ class WalkConfig:
 
     ``walk_length`` counts nodes per sequence — the paper's default
     workload is 10 walks of length 80 per node.
+
+    ``sampler`` and ``initializer`` names are validated eagerly against
+    :data:`repro.registry.SAMPLER_REGISTRY` and
+    :data:`repro.registry.INITIALIZER_REGISTRY` and normalised to their
+    canonical spelling (``"metropolis-hastings"`` -> ``"mh"``,
+    ``"burnin"`` -> ``"burn-in"``), so a typo fails at config time with
+    the registered names, not mid-pipeline. Unknown names raise
+    :class:`~repro.errors.WalkError`.
     """
 
     num_walks: int = 10
@@ -25,10 +33,20 @@ class WalkConfig:
     max_reject_rounds: int = 10_000
 
     def __post_init__(self):
+        from repro.errors import ReproError
+        from repro.registry import INITIALIZER_REGISTRY, SAMPLER_REGISTRY
+
         if self.num_walks < 1:
             raise WalkError("num_walks must be >= 1")
         if self.walk_length < 1:
             raise WalkError("walk_length must be >= 1")
+        try:
+            if isinstance(self.sampler, str):
+                self.sampler = SAMPLER_REGISTRY.canonical(self.sampler)
+            if isinstance(self.initializer, str):
+                self.initializer = INITIALIZER_REGISTRY.canonical(self.initializer)
+        except ReproError as err:
+            raise WalkError(str(err)) from None
 
 
 @dataclass

@@ -22,13 +22,52 @@ from repro.walks.vectorized import VectorizedWalkEngine
 
 
 @dataclass
+class WalkResult:
+    """Output of the walk-generation phase with its engine observables.
+
+    Carries the corpus *plus* the Ti/Tw timings, the sampler counter
+    snapshot and the resident sampler bytes, so walk-only callers (e.g.
+    :meth:`repro.core.uninet.UniNet.generate_walks`) can observe them
+    without re-running or re-querying the engine. Long-lived holders may
+    ``dataclasses.replace(result, engine=None, corpus=None)`` to keep
+    only the small observables.
+    """
+
+    corpus: WalkCorpus | None
+    #: ``{"init": Ti, "walk": Tw}`` in seconds.
+    timings: dict[str, float]
+    #: Engine counter snapshot taken once after generation — the same
+    #: keys as :attr:`TrainResult.sampler_stats`.
+    stats: dict[str, float]
+    #: Resident sampler bytes (chains / tables / proposals).
+    memory_bytes: int
+    engine: VectorizedWalkEngine = field(repr=False, default=None)
+
+    @property
+    def ti(self) -> float:
+        """Initialisation seconds (sampler construction + lazy M-H init)."""
+        return self.timings.get("init", 0.0)
+
+    @property
+    def tw(self) -> float:
+        """Walk-generation seconds (excluding initialisation)."""
+        return self.timings.get("walk", 0.0)
+
+
+@dataclass
 class TrainResult:
     """Everything a pipeline run produces."""
 
     embeddings: object | None
     corpus: WalkCorpus | None
-    timings: dict = field(default_factory=dict)
-    sampler_stats: dict = field(default_factory=dict)
+    #: Phase seconds keyed ``"init"`` / ``"walk"`` / ``"learn"`` /
+    #: ``"total"`` (the paper's Ti / Tw / Tl / Tt; see the properties).
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Sampler counter snapshot from :meth:`VectorizedWalkEngine.stats`,
+    #: taken once at the end of walk generation: ``samples``,
+    #: ``proposals``, ``accepts``, ``initializations``, ``init_seconds``,
+    #: ``acceptance_ratio`` and ``setup_seconds`` (all numbers).
+    sampler_stats: dict[str, float] = field(default_factory=dict)
     sampler_memory_bytes: int = 0
 
     @property
@@ -52,11 +91,15 @@ class TrainResult:
         return self.timings.get("total", self.ti + self.tw + self.tl)
 
 
-def generate_walks(graph, model, walk_config, *, seed=None, budget=None, start_nodes=None):
+def generate_walk_result(
+    graph, model, walk_config, *, seed=None, budget=None, start_nodes=None
+) -> WalkResult:
     """Walk-generation step with Ti/Tw accounting.
 
-    Returns ``(corpus, engine, timings)`` where timings has ``init`` and
-    ``walk`` entries.
+    The engine's counter snapshot is taken exactly once, after
+    generation, and shared by the Ti computation and the returned
+    :class:`WalkResult` (so downstream consumers never re-query
+    ``engine.stats()``).
     """
     start = time.perf_counter()
     engine = VectorizedWalkEngine(
@@ -80,7 +123,25 @@ def generate_walks(graph, model, walk_config, *, seed=None, budget=None, start_n
     stats = engine.stats()
     ti = stats["setup_seconds"] + stats["init_seconds"]
     timings = {"init": ti, "walk": max(elapsed - ti, 0.0)}
-    return corpus, engine, timings
+    return WalkResult(
+        corpus=corpus,
+        timings=timings,
+        stats=stats,
+        memory_bytes=engine.memory_bytes(),
+        engine=engine,
+    )
+
+
+def generate_walks(graph, model, walk_config, *, seed=None, budget=None, start_nodes=None):
+    """Walk-generation step; returns ``(corpus, engine, timings)``.
+
+    Backward-compatible tuple form of :func:`generate_walk_result`;
+    timings has ``init`` and ``walk`` entries.
+    """
+    result = generate_walk_result(
+        graph, model, walk_config, seed=seed, budget=budget, start_nodes=start_nodes
+    )
+    return result.corpus, result.engine, result.timings
 
 
 def train_pipeline(
@@ -104,7 +165,7 @@ def train_pipeline(
     walk_config = walk_config or WalkConfig()
     train_config = train_config or TrainConfig()
 
-    corpus, engine, timings = generate_walks(
+    walked = generate_walk_result(
         graph, model, walk_config, seed=seed, budget=budget, start_nodes=start_nodes
     )
 
@@ -115,15 +176,16 @@ def train_pipeline(
         trainer = Word2Vec(
             train_config.dimensions, seed=seed, **train_config.word2vec_kwargs()
         )
-        embeddings = trainer.fit(corpus, num_nodes=graph.num_nodes)
+        embeddings = trainer.fit(walked.corpus, num_nodes=graph.num_nodes)
         learn_seconds = time.perf_counter() - t0
 
+    timings = dict(walked.timings)
     timings["learn"] = learn_seconds
     timings["total"] = timings["init"] + timings["walk"] + learn_seconds
     return TrainResult(
         embeddings=embeddings,
-        corpus=corpus,
+        corpus=walked.corpus,
         timings=timings,
-        sampler_stats=engine.stats(),
-        sampler_memory_bytes=engine.memory_bytes(),
+        sampler_stats=walked.stats,
+        sampler_memory_bytes=walked.memory_bytes,
     )

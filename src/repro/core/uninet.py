@@ -20,8 +20,10 @@ instance as ``model``.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.core.config import TrainConfig, WalkConfig
-from repro.core.pipeline import TrainResult, generate_walks, train_pipeline
+from repro.core.pipeline import TrainResult, WalkResult, generate_walk_result, train_pipeline
 from repro.utils.rng import as_rng
 from repro.walks.models import make_model
 
@@ -70,6 +72,10 @@ class UniNet:
         self.budget = budget
         self.seed = seed
         self._rng = as_rng(seed)
+        #: :class:`~repro.core.pipeline.WalkResult` observables (timings,
+        #: stats, memory bytes — engine and corpus stripped) of the most
+        #: recent :meth:`generate_walks` call; None before the first call.
+        self.last_walk: WalkResult | None = None
 
     # ------------------------------------------------------------------
     def walk_config(self, num_walks: int = 10, walk_length: int = 80, **overrides) -> WalkConfig:
@@ -84,9 +90,15 @@ class UniNet:
         )
 
     def generate_walks(self, num_walks: int = 10, walk_length: int = 80, start_nodes=None, **overrides):
-        """Run only the walk-generation step; returns a WalkCorpus."""
+        """Run only the walk-generation step; returns a WalkCorpus.
+
+        The engine observables of the run (Ti/Tw timings, sampler
+        counters, resident bytes) are kept on :attr:`last_walk` /
+        :attr:`last_stats`, so they are inspectable without a full
+        :meth:`train`.
+        """
         config = self.walk_config(num_walks, walk_length, **overrides)
-        corpus, __, ___ = generate_walks(
+        result = generate_walk_result(
             self.graph,
             self.model,
             config,
@@ -94,7 +106,15 @@ class UniNet:
             budget=self.budget,
             start_nodes=start_nodes,
         )
-        return corpus
+        # keep only the small observables: the engine's chains/tables and
+        # the corpus itself must not stay pinned after the caller is done
+        self.last_walk = dataclasses.replace(result, engine=None, corpus=None)
+        return result.corpus
+
+    @property
+    def last_stats(self) -> dict | None:
+        """Sampler stats of the most recent :meth:`generate_walks` call."""
+        return None if self.last_walk is None else self.last_walk.stats
 
     def train(
         self,

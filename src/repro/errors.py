@@ -61,3 +61,7 @@ class TrainingError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised for malformed evaluation inputs (labels, splits, ...)."""
+
+
+class SpecError(ReproError):
+    """Raised for invalid declarative run specifications (RunSpec)."""

@@ -1,0 +1,359 @@
+"""The registry subsystem: decorator-based component registration.
+
+UniNet's pitch is a *unified* framework — any random-walk model plugs
+into any edge sampler. This module makes that pluggability a first-class
+API instead of a set of hardcoded dispatch tables: every component family
+(models, edge samplers, vectorized steppers, M-H initializers) lives in a
+:class:`Registry`, and third-party code extends the framework without
+touching package internals::
+
+    from repro import register_model, register_sampler
+    from repro.walks.models.base import RandomWalkModel
+
+    @register_model("teleport", param_spec={"restart": {"type": "float",
+                                                        "default": 0.1}})
+    class TeleportWalk(RandomWalkModel):
+        ...
+
+    @register_sampler("my-sampler", aliases=("mys",))
+    class MyStepper(StepperBase):
+        def __init__(self, graph, model, ctx):
+            ...
+
+Registered names immediately work everywhere a built-in name does:
+``UniNet(graph, model="teleport", restart=0.2)``, ``WalkConfig(
+sampler="my-sampler")``, :func:`repro.run` specs, and the CLI.
+
+A registry behaves like a read-only mapping from *canonical* names to the
+registered objects; aliases resolve on lookup but are not iterated, so
+``sorted(MODEL_REGISTRY)`` lists each component exactly once. Unknown
+names raise the family's error type with the full list of registered
+names plus near-miss suggestions.
+
+Each registry lazily imports its *home module* on first lookup so the
+built-in components are always present, regardless of import order.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from importlib import import_module
+from types import MappingProxyType
+from typing import Any, Callable, Iterator
+
+from repro.errors import ModelError, ReproError, SamplerError, WalkError
+
+
+class RegistryError(ReproError):
+    """Raised for invalid registrations (duplicates, bad names)."""
+
+
+def _norm(name: object) -> str:
+    return str(name).strip().lower()
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component: the object plus its self-description."""
+
+    name: str
+    obj: Any
+    aliases: tuple[str, ...] = ()
+    #: Capability metadata declared at registration (``second_order``,
+    #: ``needs_hetero``, ``param_spec``, ``factory``, ...). Read-only.
+    capabilities: Any = field(default_factory=dict)
+
+
+class Registry:
+    """A named component family with alias-aware, self-describing lookup.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component kind used in error messages
+        (``"model"``, ``"sampler"``, ...).
+    error_cls:
+        Exception class raised for unknown names and duplicate
+        registrations (defaults to :class:`RegistryError`).
+    home:
+        Dotted module path that registers the built-in components.
+        Imported lazily on first lookup so the registry is never empty
+        just because of import order.
+    """
+
+    def __init__(self, kind: str, *, error_cls=RegistryError, home: str | None = None):
+        self.kind = kind
+        self._error_cls = error_cls
+        self._home = home
+        self._home_loaded = home is None
+        self._entries: dict[str, RegistryEntry] = {}
+        # every accepted lookup name (canonical + aliases) -> canonical
+        self._names: dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(
+        self,
+        name: str,
+        obj: Any = None,
+        *,
+        aliases: tuple[str, ...] = (),
+        replace: bool = False,
+        **capabilities,
+    ):
+        """Register ``obj`` under ``name`` (usable as a decorator).
+
+        ``aliases`` are alternative lookup names; ``capabilities`` is
+        free-form metadata describing the component (``second_order``,
+        ``needs_hetero``, ``param_spec``, ...). Re-using a taken name
+        raises; ``replace=True`` permits replacing the entry registered
+        under the *same canonical name* only — colliding with a name
+        owned by a different entry always raises (so a replacement can
+        never silently deregister an unrelated component).
+        """
+        if obj is None:
+            def decorator(target):
+                self.register(
+                    name, target, aliases=aliases, replace=replace, **capabilities
+                )
+                return target
+
+            return decorator
+
+        canonical = _norm(name)
+        if not canonical:
+            raise RegistryError(f"{self.kind} names must be non-empty strings")
+        lookup_names = (canonical, *(_norm(a) for a in aliases))
+        for taken in lookup_names:
+            owner = self._names.get(taken)
+            if owner is None or owner == canonical:
+                continue
+            raise self._error_cls(
+                f"{self.kind} name {taken!r} is already registered "
+                f"(to {owner!r}); unregister {owner!r} first"
+            )
+        if canonical in self._entries:
+            if not replace:
+                raise self._error_cls(
+                    f"{self.kind} name {canonical!r} is already registered; "
+                    f"pass replace=True to override"
+                )
+            self.unregister(canonical)
+        entry = RegistryEntry(
+            name=canonical,
+            obj=obj,
+            aliases=tuple(_norm(a) for a in aliases),
+            capabilities=MappingProxyType(dict(capabilities)),
+        )
+        self._entries[canonical] = entry
+        for lookup in lookup_names:
+            self._names[lookup] = canonical
+        return obj
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration and all of its aliases."""
+        canonical = self.canonical(name)
+        entry = self._entries.pop(canonical)
+        for lookup in (canonical, *entry.aliases):
+            self._names.pop(lookup, None)
+
+    # -- lookup ---------------------------------------------------------
+    def _ensure_home_loaded(self) -> None:
+        if self._home_loaded:
+            return
+        self._home_loaded = True
+        try:
+            import_module(self._home)
+        except Exception:
+            self._home_loaded = False
+            raise
+
+    def canonical(self, name: str) -> str:
+        """Canonical name for ``name`` (which may be an alias)."""
+        self._ensure_home_loaded()
+        key = _norm(name)
+        try:
+            return self._names[key]
+        except KeyError:
+            raise self._error_cls(self._unknown_message(name)) from None
+
+    def entry(self, name: str) -> RegistryEntry:
+        """Full :class:`RegistryEntry` for a name or alias."""
+        return self._entries[self.canonical(name)]
+
+    def get(self, name: str) -> Any:
+        """The registered object for a name or alias."""
+        return self.entry(name).obj
+
+    def create(self, name: str, *args, **kwargs) -> Any:
+        """Instantiate the registered object (``get(name)(*args, **kwargs)``)."""
+        return self.get(name)(*args, **kwargs)
+
+    def capabilities(self, name: str):
+        """Capability metadata declared for ``name`` (read-only mapping)."""
+        return self.entry(name).capabilities
+
+    def _unknown_message(self, name: object) -> str:
+        known = self.names()
+        message = f"unknown {self.kind} {name!r}; registered: {known}"
+        close = difflib.get_close_matches(_norm(name), sorted(self._names), n=3, cutoff=0.6)
+        if close:
+            suggestions = " or ".join(repr(c) for c in close)
+            message += f" — did you mean {suggestions}?"
+        return message
+
+    # -- mapping protocol (canonical names only) ------------------------
+    def names(self) -> list[str]:
+        """Sorted canonical names (aliases excluded)."""
+        self._ensure_home_loaded()
+        return sorted(self._entries)
+
+    def keys(self) -> list[str]:
+        return self.names()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_home_loaded()
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_home_loaded()
+        return _norm(name) in self._names
+
+    def __getitem__(self, name: str) -> Any:
+        return self.get(name)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={self.names()})"
+
+
+@dataclass
+class SamplerContext:
+    """Build-time options handed to sampler factories.
+
+    Both engines (vectorized and scalar reference) resolve sampler names
+    through a registry whose factories receive ``(graph, model, ctx)``
+    with this context; each factory picks the options it understands.
+    """
+
+    initializer: Any = "high-weight"
+    init_sample_cap: int | None = 16
+    burn_in_iterations: int = 100
+    table_budget_bytes: int | None = None
+    chain_store: Any = None
+    max_reject_rounds: int = 10_000
+    budget: Any = None
+
+
+#: Random-walk model classes (``repro.walks.models``). Capabilities:
+#: ``second_order``, ``needs_hetero``, ``param_spec``.
+MODEL_REGISTRY = Registry("model", error_cls=ModelError, home="repro.walks.models")
+
+#: Vectorized per-step samplers — the production engine's dispatch and
+#: the namespace ``WalkConfig.sampler`` / ``RunSpec`` names resolve in.
+#: Entries are factories ``(graph, model, ctx: SamplerContext) -> stepper``.
+SAMPLER_REGISTRY = Registry("sampler", error_cls=WalkError, home="repro.walks.vectorized")
+
+#: Scalar :class:`~repro.sampling.base.EdgeSampler` classes used by the
+#: reference engine; entries carry a ``factory`` capability
+#: ``(graph, model, ctx) -> EdgeSampler``.
+SCALAR_SAMPLER_REGISTRY = Registry(
+    "scalar sampler", error_cls=WalkError, home="repro.sampling"
+)
+
+#: M-H chain initialization strategies (``repro.sampling.initialization``).
+INITIALIZER_REGISTRY = Registry(
+    "initialization strategy", error_cls=SamplerError, home="repro.sampling.initialization"
+)
+
+
+def register_model(name: str, cls: Any = None, *, aliases=(), replace=False, **capabilities):
+    """Register a :class:`RandomWalkModel` subclass under ``name``.
+
+    Declare a ``param_spec`` capability to describe constructor
+    parameters (drives CLI flags and :class:`~repro.core.spec.RunSpec`
+    validation)::
+
+        @register_model("teleport", param_spec={
+            "restart": {"type": "float", "default": 0.1, "help": "..."},
+        })
+        class TeleportWalk(RandomWalkModel): ...
+    """
+    return MODEL_REGISTRY.register(
+        name, cls, aliases=aliases, replace=replace, **capabilities
+    )
+
+
+def register_initializer(name: str, cls: Any = None, *, aliases=(), replace=False, **capabilities):
+    """Register an M-H initialization strategy under ``name``."""
+    return INITIALIZER_REGISTRY.register(
+        name, cls, aliases=aliases, replace=replace, **capabilities
+    )
+
+
+def register_sampler(
+    name: str,
+    factory: Callable | None = None,
+    *,
+    aliases=(),
+    scalar: Callable | None = None,
+    replace: bool = False,
+    **capabilities,
+):
+    """Register an edge sampler for the vectorized engine under ``name``.
+
+    ``factory`` is called as ``factory(graph, model, ctx)`` with a
+    :class:`SamplerContext`; a stepper class whose ``__init__`` takes
+    ``(graph, model, ctx)`` works directly. Pass ``scalar`` to also
+    register a factory for the scalar reference engine.
+    """
+
+    def _do(target):
+        SAMPLER_REGISTRY.register(
+            name, target, aliases=aliases, replace=replace, **capabilities
+        )
+        if scalar is not None:
+            try:
+                SCALAR_SAMPLER_REGISTRY.register(
+                    name,
+                    scalar,
+                    aliases=aliases,
+                    replace=replace,
+                    factory=scalar,
+                    **capabilities,
+                )
+            except Exception:
+                # keep the two registries consistent: a scalar-side
+                # collision must not leave the vectorized half registered
+                SAMPLER_REGISTRY.unregister(name)
+                raise
+        return target
+
+    if factory is None:
+        return _do
+    return _do(factory)
+
+
+def unregister_sampler(name: str) -> None:
+    """Remove a sampler from both engine registries (test cleanup helper)."""
+    SAMPLER_REGISTRY.unregister(name)
+    if name in SCALAR_SAMPLER_REGISTRY:
+        SCALAR_SAMPLER_REGISTRY.unregister(name)
+
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "SamplerContext",
+    "MODEL_REGISTRY",
+    "SAMPLER_REGISTRY",
+    "SCALAR_SAMPLER_REGISTRY",
+    "INITIALIZER_REGISTRY",
+    "register_model",
+    "register_sampler",
+    "register_initializer",
+    "unregister_sampler",
+]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SamplerError
+from repro.registry import INITIALIZER_REGISTRY, register_initializer
 from repro.sampling.base import NO_EDGE
 
 
@@ -124,29 +125,27 @@ class BurnInInitializer:
         return last
 
 
-_STRATEGIES = {
-    "random": RandomInitializer,
-    "high-weight": HighWeightInitializer,
-    "weight": HighWeightInitializer,
-    "burn-in": BurnInInitializer,
-    "burnin": BurnInInitializer,
-}
+register_initializer("random", RandomInitializer)
+register_initializer("high-weight", HighWeightInitializer, aliases=("weight",))
+register_initializer("burn-in", BurnInInitializer, aliases=("burnin",))
+
+#: Mapping view over the initializer registry — the single accepted-name
+#: list shared by both walk engines and :func:`make_initializer`.
+STRATEGIES = INITIALIZER_REGISTRY
 
 
 def make_initializer(strategy):
     """Resolve a strategy name or pass an initializer instance through.
 
+    Names (and aliases such as ``"weight"``/``"burnin"``) resolve through
+    :data:`repro.registry.INITIALIZER_REGISTRY`; unknown names raise
+    :class:`~repro.errors.SamplerError` listing what is registered.
+
     >>> make_initializer("high-weight")      # doctest: +ELLIPSIS
     <repro.sampling.initialization.HighWeightInitializer object at ...>
     """
     if isinstance(strategy, str):
-        key = strategy.lower()
-        if key not in _STRATEGIES:
-            raise SamplerError(
-                f"unknown initialization strategy {strategy!r}; "
-                f"choose from {sorted(set(_STRATEGIES))}"
-            )
-        return _STRATEGIES[key]()
+        return INITIALIZER_REGISTRY.create(strategy)
     if hasattr(strategy, "initialize"):
         return strategy
     raise SamplerError(f"not an initializer: {strategy!r}")

@@ -17,10 +17,10 @@ This package realises the paper's Section IV:
 from repro.walks.corpus import WalkCorpus
 from repro.walks.engine import ReferenceWalkEngine
 from repro.walks.manager import ChainStore
-from repro.walks.models import MODELS, make_model
+from repro.walks.models import MODEL_REGISTRY, MODELS, make_model, register_model
 from repro.walks.parallel import parallel_generate
 from repro.walks.state import WalkerState
-from repro.walks.vectorized import VectorizedWalkEngine
+from repro.walks.vectorized import StepperBase, VectorizedWalkEngine
 
 __all__ = [
     "WalkerState",
@@ -28,7 +28,10 @@ __all__ = [
     "WalkCorpus",
     "ReferenceWalkEngine",
     "VectorizedWalkEngine",
+    "StepperBase",
     "MODELS",
+    "MODEL_REGISTRY",
     "make_model",
+    "register_model",
     "parallel_generate",
 ]

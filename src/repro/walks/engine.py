@@ -12,37 +12,27 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import WalkError
-from repro.sampling.alias import SecondOrderAliasSampler
+from repro.registry import SCALAR_SAMPLER_REGISTRY, SamplerContext
 from repro.sampling.base import NO_EDGE, EdgeSampler, draw_from_weights
-from repro.sampling.direct import DirectSampler
-from repro.sampling.knightking import KnightKingSampler
-from repro.sampling.memory_aware import MemoryAwareSampler
-from repro.sampling.metropolis import MetropolisHastingsSampler
-from repro.sampling.rejection import RejectionSampler
 from repro.utils.rng import as_rng
 from repro.walks.corpus import WalkCorpus
 from repro.walks.models import make_model
 
 
 def _make_scalar_sampler(name, graph, model, *, initializer, table_budget_bytes, budget):
-    key = str(name).lower()
-    if key in ("mh", "metropolis-hastings"):
-        return MetropolisHastingsSampler(graph, model, initializer=initializer, budget=budget)
-    if key == "direct":
-        return DirectSampler()
-    if key == "alias":
-        return SecondOrderAliasSampler(graph, model, budget=budget)
-    if key == "rejection":
-        return RejectionSampler(graph, budget=budget)
-    if key == "knightking":
-        return KnightKingSampler(graph, budget=budget)
-    if key == "memory-aware":
-        if table_budget_bytes is None:
-            raise WalkError("memory-aware sampling needs table_budget_bytes")
-        return MemoryAwareSampler(
-            graph, model, table_budget_bytes=table_budget_bytes, budget=budget
-        )
-    raise WalkError(f"unknown sampler {name!r}")
+    """Resolve a sampler name through the scalar registry and build it.
+
+    Each entry's ``factory`` capability is called as ``factory(graph,
+    model, ctx)``; entries registered without one (e.g. third-party
+    samplers) are called the same way themselves. Unknown names raise
+    :class:`~repro.errors.WalkError` listing what is registered.
+    """
+    ctx = SamplerContext(
+        initializer=initializer, table_budget_bytes=table_budget_bytes, budget=budget
+    )
+    entry = SCALAR_SAMPLER_REGISTRY.entry(name)
+    factory = entry.capabilities.get("factory", entry.obj)
+    return factory(graph, model, ctx)
 
 
 class ReferenceWalkEngine:

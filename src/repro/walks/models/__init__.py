@@ -6,9 +6,16 @@ the unnormalised transition distribution — and ``update_state(state,
 edge)``. Everything else (state indexing, rejection bounds, vectorized
 kernels) is derived support machinery declared on
 :class:`~repro.walks.models.base.RandomWalkModel`.
+
+Models live in :data:`repro.registry.MODEL_REGISTRY`; third-party models
+plug in with :func:`repro.registry.register_model` and then work by name
+everywhere a built-in does (``UniNet``, ``RunSpec``, the CLI). Each
+registration declares a ``param_spec`` capability describing its
+constructor parameters, which drives CLI flags and spec validation.
 """
 
 from repro.errors import ModelError
+from repro.registry import MODEL_REGISTRY, register_model
 from repro.walks.models.base import RandomWalkModel
 from repro.walks.models.deepwalk import DeepWalk
 from repro.walks.models.edge2vec import Edge2Vec
@@ -16,13 +23,48 @@ from repro.walks.models.fairwalk import FairWalk
 from repro.walks.models.metapath2vec import MetaPath2Vec
 from repro.walks.models.node2vec import Node2Vec
 
-MODELS = {
-    "deepwalk": DeepWalk,
-    "node2vec": Node2Vec,
-    "metapath2vec": MetaPath2Vec,
-    "edge2vec": Edge2Vec,
-    "fairwalk": FairWalk,
-}
+_P_SPEC = {"type": "float", "default": 1.0, "help": "return parameter p"}
+_Q_SPEC = {"type": "float", "default": 1.0, "help": "in-out parameter q"}
+
+register_model(
+    "deepwalk", DeepWalk, second_order=False, needs_hetero=False, param_spec={}
+)
+register_model(
+    "node2vec",
+    Node2Vec,
+    second_order=True,
+    needs_hetero=False,
+    param_spec={"p": _P_SPEC, "q": _Q_SPEC},
+)
+register_model(
+    "metapath2vec",
+    MetaPath2Vec,
+    second_order=False,
+    needs_hetero=True,
+    param_spec={
+        "metapath": {"type": "str", "default": "APA", "help": "node-type pattern"},
+        "type_names": {"cli": False},
+    },
+)
+register_model(
+    "edge2vec",
+    Edge2Vec,
+    second_order=True,
+    needs_hetero=True,
+    param_spec={"p": _P_SPEC, "q": _Q_SPEC, "transition_matrix": {"cli": False}},
+)
+register_model(
+    "fairwalk",
+    FairWalk,
+    second_order=True,
+    needs_hetero=True,
+    param_spec={"p": _P_SPEC, "q": _Q_SPEC},
+)
+
+#: Mapping view over the model registry (canonical name -> class).
+#: Kept for backward compatibility; ``MODELS["node2vec"]`` and iteration
+#: over canonical names behave like the old plain dict.
+MODELS = MODEL_REGISTRY
 
 __all__ = [
     "RandomWalkModel",
@@ -32,12 +74,18 @@ __all__ = [
     "Edge2Vec",
     "FairWalk",
     "MODELS",
+    "MODEL_REGISTRY",
+    "register_model",
     "make_model",
 ]
 
 
 def make_model(name, graph, **params) -> RandomWalkModel:
     """Instantiate a model by registry name, bound to ``graph``.
+
+    Unknown names raise :class:`~repro.errors.ModelError` listing the
+    registered models (with near-miss suggestions); a bound
+    :class:`RandomWalkModel` instance passes through unchanged.
 
     >>> from repro.graph.generators import cycle_graph
     >>> model = make_model("node2vec", cycle_graph(5), p=0.25, q=4.0)
@@ -46,7 +94,9 @@ def make_model(name, graph, **params) -> RandomWalkModel:
     """
     if isinstance(name, RandomWalkModel):
         return name
-    key = str(name).lower()
-    if key not in MODELS:
-        raise ModelError(f"unknown model {name!r}; available: {sorted(MODELS)}")
-    return MODELS[key](graph, **params)
+    if not isinstance(name, str):
+        raise ModelError(
+            f"model must be a registry name or a RandomWalkModel instance, "
+            f"got {type(name).__name__}"
+        )
+    return MODEL_REGISTRY.create(name, graph, **params)

@@ -29,7 +29,8 @@ import time
 
 import numpy as np
 
-from repro.errors import WalkError
+from repro.errors import ReproError, WalkError
+from repro.registry import INITIALIZER_REGISTRY, SAMPLER_REGISTRY, SamplerContext
 from repro.sampling.alias import FirstOrderAliasStore, build_alias_table
 from repro.sampling.base import NO_EDGE
 from repro.sampling.memory_aware import assign_states_greedily
@@ -45,11 +46,26 @@ from repro.walks.corpus import WalkCorpus
 from repro.walks.manager import ChainStore
 from repro.walks.models import make_model
 
-_INIT_STRATEGIES = ("random", "high-weight", "weight", "burn-in", "burnin")
+
+def _canonical_initializer(initializer) -> str:
+    """Resolve an initializer name/instance to its canonical registry name."""
+    name = getattr(initializer, "name", initializer)
+    try:
+        return INITIALIZER_REGISTRY.canonical(name)
+    except ReproError as err:
+        raise WalkError(str(err)) from None
 
 
-class _StepperBase:
-    """Shared bookkeeping for vectorized per-step samplers."""
+class StepperBase:
+    """Shared bookkeeping for vectorized per-step samplers.
+
+    Third-party samplers subclass this and implement
+    ``step(prev, prev_off, cur, step, rng) -> edge offsets`` (``NO_EDGE``
+    for dead walkers), then register with
+    :func:`repro.registry.register_sampler`; the factory is invoked as
+    ``factory(graph, model, ctx)`` with a
+    :class:`~repro.registry.SamplerContext`.
+    """
 
     name = "abstract"
 
@@ -96,7 +112,7 @@ class _StepperBase:
         }
 
 
-class _DirectStepper(_StepperBase):
+class _DirectStepper(StepperBase):
     """Exact O(deg)-per-walker sampling (vectorized direct sampler)."""
 
     name = "direct"
@@ -111,7 +127,7 @@ class _DirectStepper(_StepperBase):
         return out
 
 
-class _FirstOrderAliasStepper(_StepperBase):
+class _FirstOrderAliasStepper(StepperBase):
     """Per-node static alias tables — exact only for static models."""
 
     name = "alias-first-order"
@@ -210,7 +226,7 @@ class EagerStateAliasTables:
         return self.threshold.nbytes + self.alias_local.nbytes
 
 
-class _StateAliasStepper(_StepperBase):
+class _StateAliasStepper(StepperBase):
     """Eager per-state alias tables (UniNet(Orig) for node2vec)."""
 
     name = "alias"
@@ -233,7 +249,7 @@ class _StateAliasStepper(_StepperBase):
         return self.tables.memory_bytes()
 
 
-class _MemoryAwareStepper(_StepperBase):
+class _MemoryAwareStepper(StepperBase):
     """Static greedy alias assignment under a budget; rejection elsewhere.
 
     The SIGMOD'20 framework assigns *sampling methods* per state within
@@ -292,7 +308,7 @@ class _MemoryAwareStepper(_StepperBase):
         return self.tables.memory_bytes() + self.proposal.memory_bytes()
 
 
-class _RejectionStepper(_StepperBase):
+class _RejectionStepper(StepperBase):
     """Vectorized rejection sampling, optionally with outlier folding."""
 
     def __init__(self, graph, model, *, fold: bool, max_rounds: int = 10_000, budget=None):
@@ -376,7 +392,7 @@ class _RejectionStepper(_StepperBase):
         return self.proposal.memory_bytes()
 
 
-class _MHStepper(_StepperBase):
+class _MHStepper(StepperBase):
     """Algorithm 1 on arrays — the paper's M-H edge sampler, vectorized."""
 
     name = "mh"
@@ -393,13 +409,19 @@ class _MHStepper(_StepperBase):
         budget=None,
     ):
         super().__init__(graph, model)
-        strategy = str(initializer).lower()
-        if strategy not in _INIT_STRATEGIES:
-            raise WalkError(
-                f"unknown initializer {initializer!r}; choose from "
-                f"{sorted(set(_INIT_STRATEGIES))}"
-            )
-        self.strategy = {"weight": "high-weight", "burnin": "burn-in"}.get(strategy, strategy)
+        if not isinstance(initializer, str) and hasattr(initializer, "initialize"):
+            # a bound initializer instance: use its scalar protocol directly
+            self.strategy = getattr(initializer, "name", "custom")
+            self.custom_initializer = initializer
+        else:
+            self.strategy = _canonical_initializer(initializer)
+            if self.strategy in ("random", "high-weight", "burn-in"):
+                # built-ins have dedicated vectorized kernels below
+                self.custom_initializer = None
+            else:
+                from repro.sampling.initialization import make_initializer
+
+                self.custom_initializer = make_initializer(self.strategy)
         self.init_sample_cap = init_sample_cap
         self.burn_in_iterations = burn_in_iterations
         if chain_store is None:
@@ -444,11 +466,33 @@ class _MHStepper(_StepperBase):
 
     # ------------------------------------------------------------------
     def _initialize(self, prev0, prev_off0, cur0, step, rng):
+        if self.custom_initializer is not None:
+            return self._init_custom(prev0, prev_off0, cur0, step, rng)
         if self.strategy == "random":
             return self._init_random(prev0, prev_off0, cur0, step, rng)
         if self.strategy == "high-weight":
             return self._init_high_weight(prev0, prev_off0, cur0, step, rng)
         return self._init_burn_in(prev0, prev_off0, cur0, step, rng)
+
+    def _init_custom(self, prev0, prev_off0, cur0, step, rng):
+        """Registered third-party strategies run their scalar protocol.
+
+        One ``initialize(graph, model, state, rng)`` call per fresh
+        chain — slower than the vectorized built-ins but each state is
+        initialised only once, so the cost is O(#state) overall.
+        """
+        from repro.walks.state import WalkerState
+
+        out = np.empty(cur0.size, dtype=np.int64)
+        for i in range(cur0.size):
+            state = WalkerState(
+                current=int(cur0[i]),
+                previous=int(prev0[i]),
+                prev_edge_offset=int(prev_off0[i]),
+                step=int(step[i]) if isinstance(step, np.ndarray) else int(step),
+            )
+            out[i] = self.custom_initializer.initialize(self.graph, self.model, state, rng)
+        return out
 
     def _init_random(self, prev0, prev_off0, cur0, step, rng):
         lo, deg = self._rows(cur0)
@@ -524,51 +568,103 @@ class _MHStepper(_StepperBase):
         return self.chains.memory_bytes()
 
 
-def _build_stepper(
-    name,
-    graph,
-    model,
-    *,
-    initializer,
-    init_sample_cap,
-    burn_in_iterations,
-    table_budget_bytes,
-    chain_store,
-    max_reject_rounds,
-    budget,
-):
-    key = str(name).lower()
-    if key in ("mh", "metropolis-hastings"):
-        return _MHStepper(
-            graph,
-            model,
-            initializer=initializer,
-            init_sample_cap=init_sample_cap,
-            burn_in_iterations=burn_in_iterations,
-            chain_store=chain_store,
-            budget=budget,
-        )
-    if key == "direct":
-        return _DirectStepper(graph, model)
-    if key == "alias-first-order":
-        return _FirstOrderAliasStepper(graph, model, budget=budget)
-    if key == "alias":
-        if model.is_static:
-            return _FirstOrderAliasStepper(graph, model, budget=budget)
-        return _StateAliasStepper(graph, model, budget=budget)
-    if key == "rejection":
-        return _RejectionStepper(
-            graph, model, fold=False, max_rounds=max_reject_rounds, budget=budget
-        )
-    if key == "knightking":
-        return _RejectionStepper(
-            graph, model, fold=True, max_rounds=max_reject_rounds, budget=budget
-        )
-    if key == "memory-aware":
-        if table_budget_bytes is None:
-            raise WalkError("memory-aware sampling needs table_budget_bytes")
-        return _MemoryAwareStepper(graph, model, table_budget_bytes, budget=budget)
-    raise WalkError(f"unknown sampler {name!r}")
+def _mh_stepper_factory(graph, model, ctx):
+    return _MHStepper(
+        graph,
+        model,
+        initializer=ctx.initializer,
+        init_sample_cap=ctx.init_sample_cap,
+        burn_in_iterations=ctx.burn_in_iterations,
+        chain_store=ctx.chain_store,
+        budget=ctx.budget,
+    )
+
+
+def _alias_stepper_factory(graph, model, ctx):
+    # static models collapse the per-state tables to one table per node
+    if model.is_static:
+        return _FirstOrderAliasStepper(graph, model, budget=ctx.budget)
+    return _StateAliasStepper(graph, model, budget=ctx.budget)
+
+
+def _memory_aware_stepper_factory(graph, model, ctx):
+    if ctx.table_budget_bytes is None:
+        raise WalkError("memory-aware sampling needs table_budget_bytes")
+    return _MemoryAwareStepper(
+        graph,
+        model,
+        ctx.table_budget_bytes,
+        max_rounds=ctx.max_reject_rounds,
+        budget=ctx.budget,
+    )
+
+
+SAMPLER_REGISTRY.register(
+    "mh",
+    _mh_stepper_factory,
+    aliases=("metropolis-hastings",),
+    second_order=True,
+    uses_initializer=True,
+    time_per_sample="O(1)",
+    memory="O(#state)",
+)
+SAMPLER_REGISTRY.register(
+    "direct",
+    lambda graph, model, ctx: _DirectStepper(graph, model),
+    second_order=True,
+    time_per_sample="O(d)",
+    memory="O(1)",
+)
+SAMPLER_REGISTRY.register(
+    "alias",
+    _alias_stepper_factory,
+    second_order=True,
+    time_per_sample="O(1)",
+    memory="O(d * #state)",
+)
+SAMPLER_REGISTRY.register(
+    "alias-first-order",
+    lambda graph, model, ctx: _FirstOrderAliasStepper(graph, model, budget=ctx.budget),
+    second_order=False,
+    time_per_sample="O(1)",
+    memory="O(|E|)",
+)
+SAMPLER_REGISTRY.register(
+    "rejection",
+    lambda graph, model, ctx: _RejectionStepper(
+        graph, model, fold=False, max_rounds=ctx.max_reject_rounds, budget=ctx.budget
+    ),
+    second_order=True,
+    time_per_sample="O(1/theta)",
+    memory="O(|E|)",
+)
+SAMPLER_REGISTRY.register(
+    "knightking",
+    lambda graph, model, ctx: _RejectionStepper(
+        graph, model, fold=True, max_rounds=ctx.max_reject_rounds, budget=ctx.budget
+    ),
+    second_order=True,
+    time_per_sample="O(1/theta')",
+    memory="O(|E|)",
+)
+SAMPLER_REGISTRY.register(
+    "memory-aware",
+    _memory_aware_stepper_factory,
+    second_order=True,
+    needs_table_budget=True,
+    time_per_sample="mixed",
+    memory="<= budget",
+)
+
+
+def _build_stepper(name, graph, model, ctx: SamplerContext):
+    """Resolve a sampler name through the registry and build its stepper.
+
+    Unknown names raise :class:`~repro.errors.WalkError` listing the
+    registered samplers with near-miss suggestions.
+    """
+    factory = SAMPLER_REGISTRY.get(name)
+    return factory(graph, model, ctx)
 
 
 class VectorizedWalkEngine:
@@ -582,12 +678,15 @@ class VectorizedWalkEngine:
         Bound model instance or registry name (``model_params`` forwarded:
         ``p``, ``q``, ``metapath``, ...).
     sampler:
-        ``"mh"`` (default), ``"direct"``, ``"alias"``,
-        ``"alias-first-order"``, ``"rejection"``, ``"knightking"`` or
-        ``"memory-aware"``.
+        Any name in :data:`repro.registry.SAMPLER_REGISTRY`: ``"mh"``
+        (default), ``"direct"``, ``"alias"``, ``"alias-first-order"``,
+        ``"rejection"``, ``"knightking"``, ``"memory-aware"``, or a
+        third-party sampler registered with
+        :func:`repro.registry.register_sampler`.
     initializer:
-        M-H chain initialization: ``"random"``, ``"high-weight"``
-        (default) or ``"burn-in"``.
+        M-H chain initialization, resolved through
+        :data:`repro.registry.INITIALIZER_REGISTRY`: ``"random"``,
+        ``"high-weight"`` (default) or ``"burn-in"``.
     budget:
         Optional :class:`~repro.sampling.memory_model.MemoryBudget`; the
         sampler's footprint is charged at construction (simulated OOM).
@@ -616,11 +715,7 @@ class VectorizedWalkEngine:
     ):
         self.graph = graph
         self.model = make_model(model, graph, **model_params)
-        start = time.perf_counter()
-        self.stepper = _build_stepper(
-            sampler,
-            graph,
-            self.model,
+        ctx = SamplerContext(
             initializer=initializer,
             init_sample_cap=init_sample_cap,
             burn_in_iterations=burn_in_iterations,
@@ -629,6 +724,8 @@ class VectorizedWalkEngine:
             max_reject_rounds=max_reject_rounds,
             budget=budget,
         )
+        start = time.perf_counter()
+        self.stepper = _build_stepper(sampler, graph, self.model, ctx)
         self.setup_seconds = time.perf_counter() - start
         self.rng = as_rng(seed)
 
