@@ -57,6 +57,8 @@ _LAZY_ATTRS = {
     "UniNet": ("repro.core.uninet", "UniNet"),
     "WalkConfig": ("repro.core.config", "WalkConfig"),
     "TrainConfig": ("repro.core.config", "TrainConfig"),
+    "StreamingConfig": ("repro.core.config", "StreamingConfig"),
+    "WalkShardStream": ("repro.walks.stream", "WalkShardStream"),
     "RunSpec": ("repro.core.spec", "RunSpec"),
     "GraphSpec": ("repro.core.spec", "GraphSpec"),
     "EvalSpec": ("repro.core.spec", "EvalSpec"),

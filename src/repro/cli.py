@@ -18,8 +18,11 @@ Examples::
     python -m repro stats --dataset blogcatalog --scale 0.5
     python -m repro train --dataset youtube --model node2vec --p 0.25 --q 4 \
         --output vectors.npz
+    python -m repro train --dataset youtube --stream --shard-walks 4096 \
+        --overlap --output vectors.npz
     python -m repro classify --dataset blogcatalog --model deepwalk
-    python -m repro run --spec spec.json --set sampler=rejection
+    python -m repro run --spec spec.json --set sampler=rejection \
+        --set streaming.shard_walks=4096
 """
 
 from __future__ import annotations
@@ -149,6 +152,31 @@ def _cmd_walk(args) -> int:
     return 0
 
 
+def _streaming_config(args):
+    """Build a StreamingConfig from the ``train`` streaming flags.
+
+    ``--stream`` enables the defaults; any sizing/overlap flag implies
+    streaming on its own, so ``--shard-walks 4096`` alone works.
+    """
+    wants = (
+        args.stream
+        or args.shard_walks is not None
+        or args.max_corpus_bytes is not None
+        or args.overlap
+        or args.stream_vocab != "degree"
+    )
+    if not wants:
+        return None
+    from repro.core.config import StreamingConfig
+
+    return StreamingConfig(
+        shard_walks=args.shard_walks,
+        max_corpus_bytes=args.max_corpus_bytes,
+        overlap=args.overlap,
+        vocab=args.stream_vocab,
+    )
+
+
 def _cmd_train(args) -> int:
     from repro import UniNet
 
@@ -163,12 +191,15 @@ def _cmd_train(args) -> int:
         dimensions=args.dimensions,
         epochs=args.epochs,
         negative_sharing=True,
+        streaming=_streaming_config(args),
     )
     result.embeddings.save_npz(args.output)
+    mode = "streamed" if result.streaming else "monolithic"
     print(
         f"trained {len(result.embeddings)} x {args.dimensions} embeddings "
-        f"(init={result.ti:.2f}s walk={result.tw:.2f}s learn={result.tl:.2f}s); "
-        f"wrote {args.output}"
+        f"({mode}: init={result.ti:.2f}s walk={result.tw:.2f}s "
+        f"learn={result.tl:.2f}s total={result.tt:.2f}s, "
+        f"peak corpus {result.peak_corpus_bytes} B); wrote {args.output}"
     )
     return 0
 
@@ -279,6 +310,31 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--dimensions", type=int, default=128)
     train.add_argument("--epochs", type=int, default=1)
     train.add_argument("--output", default="vectors.npz")
+    stream = train.add_argument_group("streaming (bounded-memory walk→train)")
+    stream.add_argument(
+        "--stream", action="store_true",
+        help="stream walk shards into the trainer instead of materializing "
+        "the whole corpus",
+    )
+    stream.add_argument(
+        "--shard-walks", type=int, default=None, metavar="N",
+        help="walks per shard (implies --stream; default: one wave per shard)",
+    )
+    stream.add_argument(
+        "--max-corpus-bytes", type=int, default=None, metavar="BYTES",
+        help="size shards by a byte budget instead of a walk count "
+        "(implies --stream)",
+    )
+    stream.add_argument(
+        "--overlap", action="store_true",
+        help="overlap walk generation and training via a producer thread "
+        "(implies --stream)",
+    )
+    stream.add_argument(
+        "--stream-vocab", choices=["degree", "exact"], default="degree",
+        help="vocabulary counts: degree-proportional estimate (one pass) or "
+        "exact counting pass (walks generated twice)",
+    )
     train.set_defaults(func=_cmd_train)
 
     classify = sub.add_parser("classify", help="train + node classification sweep")

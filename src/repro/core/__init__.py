@@ -11,13 +11,14 @@ execute it, returning structured :class:`~repro.core.runner.RunReport`
 objects.
 """
 
-from repro.core.config import TrainConfig, WalkConfig
+from repro.core.config import StreamingConfig, TrainConfig, WalkConfig
 from repro.core.pipeline import (
     TrainResult,
     WalkResult,
     generate_walk_result,
     generate_walks,
     train_pipeline,
+    train_streaming_pipeline,
 )
 from repro.core.runner import RunReport, expand_grid, expand_variations, run, run_many
 from repro.core.spec import EvalSpec, GraphSpec, RunSpec
@@ -27,7 +28,9 @@ __all__ = [
     "UniNet",
     "WalkConfig",
     "TrainConfig",
+    "StreamingConfig",
     "train_pipeline",
+    "train_streaming_pipeline",
     "generate_walks",
     "generate_walk_result",
     "TrainResult",

@@ -49,6 +49,93 @@ class WalkConfig:
             raise WalkError(str(err)) from None
 
 
+#: Vocabulary strategies for streamed training (see :class:`StreamingConfig`).
+STREAMING_VOCAB_MODES = ("degree", "exact")
+
+
+@dataclass
+class StreamingConfig:
+    """Shard-streaming pipeline settings (bounded-memory walk→train).
+
+    When a streaming block is present on a run, walk generation yields
+    :class:`~repro.walks.corpus.WalkCorpus` shards that the word2vec
+    trainer consumes incrementally, so peak corpus memory is O(shard)
+    instead of O(total corpus), and with ``overlap=True`` the walk (Tw)
+    and learn (Tl) phases share the wall clock.
+
+    Parameters
+    ----------
+    enabled:
+        master switch; lets a spec override (``--set
+        streaming.enabled=false``) fall back to the monolithic path
+        without deleting the block.
+    shard_walks:
+        walks per shard. ``None`` defers to ``max_corpus_bytes`` or, when
+        that is also unset, one wave (one walk per start node) per shard.
+    max_corpus_bytes:
+        alternative shard sizing: largest shard footprint in bytes; the
+        walk length converts it to a walk count. Mutually exclusive with
+        ``shard_walks``.
+    overlap:
+        run walk generation in a producer thread feeding a bounded queue
+        that the trainer drains — Tw and Tl overlap on the wall clock.
+    queue_shards:
+        bounded queue depth for ``overlap=True`` (peak resident corpus is
+        roughly ``(queue_shards + 1)`` shards plus the trainer's partial
+        block buffer).
+    vocab:
+        ``"degree"`` estimates token frequencies from the stationary
+        distribution (visits ∝ degree — exact for first-order walks on
+        undirected graphs, no extra pass); ``"exact"`` runs a counting
+        pass over a regenerated walk stream first (costs Tw twice, but
+        reproduces the monolithic vocabulary bit-for-bit).
+    block_walks:
+        override for the trainer's canonical block size (see
+        :class:`repro.embedding.Word2Vec`). Defaults to the shard size,
+        which keeps the trainer's partial-block buffer within one shard;
+        set it to the trainer default (8192) together with
+        ``vocab="exact"`` and ``overlap=False`` to reproduce a monolithic
+        run of the same seed bit-for-bit.
+    """
+
+    enabled: bool = True
+    shard_walks: int | None = None
+    max_corpus_bytes: int | None = None
+    overlap: bool = False
+    queue_shards: int = 2
+    vocab: str = "degree"
+    block_walks: int | None = None
+
+    def __post_init__(self):
+        if self.shard_walks is not None and self.shard_walks < 1:
+            raise WalkError("streaming.shard_walks must be >= 1")
+        if self.max_corpus_bytes is not None and self.max_corpus_bytes < 1:
+            raise WalkError("streaming.max_corpus_bytes must be >= 1")
+        if self.shard_walks is not None and self.max_corpus_bytes is not None:
+            raise WalkError(
+                "streaming.shard_walks and streaming.max_corpus_bytes are "
+                "mutually exclusive shard sizings; set one"
+            )
+        if self.queue_shards < 1:
+            raise WalkError("streaming.queue_shards must be >= 1")
+        if self.vocab not in STREAMING_VOCAB_MODES:
+            raise WalkError(
+                f"streaming.vocab must be one of {STREAMING_VOCAB_MODES}, "
+                f"got {self.vocab!r}"
+            )
+        if self.block_walks is not None and self.block_walks < 1:
+            raise WalkError("streaming.block_walks must be >= 1")
+
+    def resolve_shard_walks(self, walk_length: int, num_starts: int) -> int:
+        """Concrete walks-per-shard for a run's geometry."""
+        if self.shard_walks is not None:
+            return self.shard_walks
+        if self.max_corpus_bytes is not None:
+            per_walk = 8 * (walk_length + 1)  # int64 row + length entry
+            return max(1, self.max_corpus_bytes // per_walk)
+        return max(1, num_starts)
+
+
 @dataclass
 class TrainConfig:
     """Embedding-learning settings forwarded to the word2vec trainer."""

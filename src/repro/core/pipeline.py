@@ -9,12 +9,28 @@ lazy per-state initialization strategy during the walk (the paper
 accounts burn-in/high-weight/random costs there, which is what makes the
 Fig. 6 initialization bars comparable). ``Tw`` is the remaining walk
 time; ``Tt = Ti + Tw + Tl``.
+
+Streaming mode
+--------------
+With a :class:`~repro.core.config.StreamingConfig`, the walk engine
+yields bounded :class:`~repro.walks.corpus.WalkCorpus` shards that the
+word2vec trainer absorbs incrementally (``build_vocab`` →
+``partial_fit`` per shard → ``finalize``), so peak corpus memory is
+O(shard) instead of O(total corpus). With ``overlap=True`` a producer
+thread generates shards into a bounded queue while the main thread
+trains — Tw and Tl share the wall clock, and ``timings["total"]`` is the
+true wall time (less than Ti+Tw+Tl when overlap wins). The monolithic
+path is the same trainer code run as one shard.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.embedding.word2vec import Word2Vec
 from repro.walks.corpus import WalkCorpus
@@ -41,6 +57,9 @@ class WalkResult:
     stats: dict[str, float]
     #: Resident sampler bytes (chains / tables / proposals).
     memory_bytes: int
+    #: Resident corpus bytes (walk matrix + lengths) — the other half of
+    #: the walk phase's memory footprint, next to the sampler's.
+    corpus_bytes: int = 0
     engine: VectorizedWalkEngine = field(repr=False, default=None)
 
     @property
@@ -62,6 +81,9 @@ class TrainResult:
     corpus: WalkCorpus | None
     #: Phase seconds keyed ``"init"`` / ``"walk"`` / ``"learn"`` /
     #: ``"total"`` (the paper's Ti / Tw / Tl / Tt; see the properties).
+    #: In overlapped streaming mode ``walk`` and ``learn`` are per-phase
+    #: busy times and ``total`` is the wall clock, so ``total`` may be
+    #: *less* than their sum — that difference is the overlap win.
     timings: dict[str, float] = field(default_factory=dict)
     #: Sampler counter snapshot from :meth:`VectorizedWalkEngine.stats`,
     #: taken once at the end of walk generation: ``samples``,
@@ -69,6 +91,15 @@ class TrainResult:
     #: ``acceptance_ratio`` and ``setup_seconds`` (all numbers).
     sampler_stats: dict[str, float] = field(default_factory=dict)
     sampler_memory_bytes: int = 0
+    #: ``num_walks`` / ``token_count`` of the corpus — populated in both
+    #: modes, so reporting never needs the (possibly absent) corpus.
+    corpus_summary: dict[str, int] = field(default_factory=dict)
+    #: Peak corpus-resident bytes observed during the run: the whole
+    #: corpus when monolithic, the tracked shard/queue/buffer high-water
+    #: mark when streaming.
+    peak_corpus_bytes: int = 0
+    #: True when the run streamed shards (``corpus`` is None then).
+    streaming: bool = False
 
     @property
     def ti(self) -> float:
@@ -128,6 +159,7 @@ def generate_walk_result(
         timings=timings,
         stats=stats,
         memory_bytes=engine.memory_bytes(),
+        corpus_bytes=corpus.nbytes,
         engine=engine,
     )
 
@@ -144,6 +176,259 @@ def generate_walks(graph, model, walk_config, *, seed=None, budget=None, start_n
     return result.corpus, result.engine, result.timings
 
 
+def _expected_degree_counts(graph, total_tokens: int) -> np.ndarray:
+    """Degree-proportional token-frequency estimate for streamed vocab.
+
+    The stationary distribution of a first-order walk on an undirected
+    graph puts mass exactly ∝ degree on each node, so the expected visit
+    counts of a ``total_tokens``-token corpus are degree-proportional.
+    Every node keeps a floor count of 1 so the vocabulary covers the full
+    id space (isolated nodes still start length-1 walks).
+    """
+    degrees = np.diff(graph.offsets).astype(np.float64)
+    total_degree = degrees.sum()
+    if total_degree <= 0:
+        return np.ones(graph.num_nodes, dtype=np.int64)
+    expected = np.floor(total_tokens * degrees / total_degree).astype(np.int64)
+    return expected + 1
+
+
+class _CorpusResidency:
+    """Thread-safe high-water mark of corpus bytes resident in the pipeline."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._live = 0
+        self.peak = 0
+
+    def acquire(self, nbytes: int) -> None:
+        with self._lock:
+            self._live += nbytes
+            self.peak = max(self.peak, self._live)
+
+    def release(self, nbytes: int) -> None:
+        with self._lock:
+            self._live -= nbytes
+
+    def observe(self, extra: int = 0) -> None:
+        with self._lock:
+            self.peak = max(self.peak, self._live + extra)
+
+
+def train_streaming_pipeline(
+    graph,
+    model,
+    walk_config,
+    train_config,
+    streaming,
+    *,
+    seed=None,
+    budget=None,
+    start_nodes=None,
+) -> TrainResult:
+    """Shard-streaming walk→train with bounded corpus memory.
+
+    Walk shards come from :meth:`VectorizedWalkEngine.generate_stream`
+    (rebuilt identically for the exact-vocab counting pass, since the
+    engine seed is pinned first) and feed :meth:`Word2Vec.partial_fit`.
+    ``overlap=True`` moves generation into a producer thread with a
+    bounded queue; numpy kernels release the GIL, so walk and learn work
+    genuinely overlap.
+    """
+    from repro.utils.rng import as_rng
+    from repro.walks.models import make_model
+
+    # pin a concrete engine seed so the stream is re-creatable (exact
+    # vocab pass + training pass see identical walks); integer seeds pass
+    # through untouched so a streamed run walks the same corpus as a
+    # monolithic run with the same seed
+    if not isinstance(seed, (int, np.integer)):
+        seed = int(as_rng(seed).integers(2**31))
+    seed = int(seed)
+    bound = make_model(model, graph)
+    starts = (
+        bound.valid_start_nodes()
+        if start_nodes is None
+        else np.asarray(start_nodes, dtype=np.int64)
+    )
+    if starts.size == 0:
+        from repro.errors import WalkError
+
+        raise WalkError("no valid start nodes for this model/graph")
+    total_walks = walk_config.num_walks * starts.size
+    shard_walks = streaming.resolve_shard_walks(walk_config.walk_length, starts.size)
+
+    engine_cell: dict[str, VectorizedWalkEngine] = {}
+
+    def shard_iter(charge_budget: bool):
+        engine = VectorizedWalkEngine(
+            graph,
+            bound,
+            sampler=walk_config.sampler,
+            initializer=walk_config.initializer,
+            init_sample_cap=walk_config.init_sample_cap,
+            burn_in_iterations=walk_config.burn_in_iterations,
+            table_budget_bytes=walk_config.table_budget_bytes,
+            max_reject_rounds=walk_config.max_reject_rounds,
+            budget=budget if charge_budget else None,
+            seed=seed,
+        )
+        engine_cell["engine"] = engine
+        return engine.generate_stream(
+            num_walks=walk_config.num_walks,
+            walk_length=walk_config.walk_length,
+            start_nodes=starts,
+            shard_walks=shard_walks,
+        )
+
+    wall_start = time.perf_counter()
+    walk_seconds = 0.0
+    learn_seconds = 0.0
+
+    trainer_kwargs = train_config.word2vec_kwargs()
+    if streaming.block_walks is not None:
+        trainer_kwargs["block_walks"] = streaming.block_walks
+    elif "block_walks" not in trainer_kwargs:
+        # align canonical blocks with the shards so the trainer's partial
+        # block buffer never outgrows one shard — the memory bound stays
+        # O(shard). (Set streaming.block_walks explicitly — e.g. to the
+        # trainer default — to reproduce a monolithic run bit-for-bit.)
+        trainer_kwargs["block_walks"] = shard_walks
+    trainer = Word2Vec(train_config.dimensions, seed=seed, **trainer_kwargs)
+
+    ti_counting_pass = 0.0
+    if streaming.vocab == "exact":
+        t0 = time.perf_counter()
+        counts = np.zeros(graph.num_nodes, dtype=np.int64)
+        for shard in shard_iter(charge_budget=True):
+            counts += shard.node_frequencies(graph.num_nodes)
+        walk_seconds += time.perf_counter() - t0
+        # the counting pass built its own engine; account its setup/init
+        # as Ti, not Tw, like every other engine
+        count_stats = engine_cell["engine"].stats()
+        ti_counting_pass = count_stats["setup_seconds"] + count_stats["init_seconds"]
+        charge_training_pass = False
+    else:
+        counts = _expected_degree_counts(
+            graph, total_walks * walk_config.walk_length
+        )
+        charge_training_pass = True
+    trainer.build_vocab(counts, total_walks=total_walks)
+
+    residency = _CorpusResidency()
+    summary = {"num_walks": 0, "token_count": 0}
+
+    def consume(shard) -> None:
+        nonlocal learn_seconds
+        residency.observe(trainer.buffered_bytes())
+        t0 = time.perf_counter()
+        trainer.partial_fit(shard)
+        learn_seconds += time.perf_counter() - t0
+        summary["num_walks"] += shard.num_walks
+        summary["token_count"] += shard.token_count
+        residency.release(shard.nbytes)
+        residency.observe(trainer.buffered_bytes())
+
+    if not streaming.overlap:
+        t0 = time.perf_counter()
+        shards = shard_iter(charge_budget=charge_training_pass)
+        walk_seconds += time.perf_counter() - t0  # engine construction
+        while True:
+            t0 = time.perf_counter()
+            shard = next(shards, None)
+            walk_seconds += time.perf_counter() - t0
+            if shard is None:
+                break
+            residency.acquire(shard.nbytes)
+            consume(shard)
+    else:
+        shard_queue: queue.Queue = queue.Queue(maxsize=streaming.queue_shards)
+        _DONE = object()
+        stop = threading.Event()
+        producer_state = {"walk_seconds": 0.0, "error": None}
+
+        def produce():
+            try:
+                t0 = time.perf_counter()
+                shards = shard_iter(charge_budget=charge_training_pass)
+                producer_state["walk_seconds"] += time.perf_counter() - t0
+                while not stop.is_set():
+                    t0 = time.perf_counter()
+                    shard = next(shards, None)
+                    producer_state["walk_seconds"] += time.perf_counter() - t0
+                    if shard is None:
+                        break
+                    residency.acquire(shard.nbytes)
+                    # bounded put that re-checks stop, so a dying consumer
+                    # never strands this thread on a full queue
+                    while not stop.is_set():
+                        try:
+                            shard_queue.put(shard, timeout=0.1)
+                            break
+                        except queue.Full:
+                            continue
+            except BaseException as err:  # surfaced on the consumer side
+                producer_state["error"] = err
+            finally:
+                stop.set()  # unblock anyone; mark end-of-stream
+                try:
+                    shard_queue.put_nowait(_DONE)
+                except queue.Full:
+                    pass  # consumer is gone or will see stop via timeout
+
+        producer = threading.Thread(target=produce, name="walk-producer", daemon=True)
+        producer.start()
+        try:
+            while True:
+                try:
+                    item = shard_queue.get(timeout=0.1)
+                except queue.Empty:
+                    if stop.is_set() and not producer.is_alive():
+                        break
+                    continue
+                if item is _DONE:
+                    break
+                consume(item)
+        finally:
+            # whatever path exits the loop (done, consumer exception),
+            # release the producer and reap the thread
+            stop.set()
+            while producer.is_alive():
+                try:
+                    shard_queue.get_nowait()
+                except queue.Empty:
+                    producer.join(timeout=0.1)
+            producer.join()
+        if producer_state["error"] is not None:
+            raise producer_state["error"]
+        walk_seconds += producer_state["walk_seconds"]
+
+    t0 = time.perf_counter()
+    embeddings = trainer.finalize()
+    learn_seconds += time.perf_counter() - t0
+
+    wall = time.perf_counter() - wall_start
+    engine = engine_cell["engine"]
+    stats = engine.stats()
+    ti = ti_counting_pass + stats["setup_seconds"] + stats["init_seconds"]
+    timings = {
+        "init": ti,
+        "walk": max(walk_seconds - ti, 0.0),
+        "learn": learn_seconds,
+        "total": wall,
+    }
+    return TrainResult(
+        embeddings=embeddings,
+        corpus=None,
+        timings=timings,
+        sampler_stats=stats,
+        sampler_memory_bytes=engine.memory_bytes(),
+        corpus_summary=dict(summary),
+        peak_corpus_bytes=residency.peak,
+        streaming=True,
+    )
+
+
 def train_pipeline(
     graph,
     model,
@@ -154,16 +439,35 @@ def train_pipeline(
     budget=None,
     start_nodes=None,
     skip_learning: bool = False,
+    streaming=None,
 ) -> TrainResult:
     """Run the full pipeline for one (graph, model, sampler) configuration.
 
     ``skip_learning=True`` stops after walk generation (the setting of
     the paper's Table VII / Fig. 6-7, which time only the walk phase).
+    ``streaming`` takes a :class:`~repro.core.config.StreamingConfig`
+    (or an equivalent dict) to run the shard-streaming path; walk-only
+    runs ignore it, since without a trainer there is nothing to stream
+    into.
     """
-    from repro.core.config import TrainConfig, WalkConfig
+    from repro.core.config import StreamingConfig, TrainConfig, WalkConfig
 
     walk_config = walk_config or WalkConfig()
     train_config = train_config or TrainConfig()
+    if isinstance(streaming, dict):
+        streaming = StreamingConfig(**streaming)
+
+    if streaming is not None and streaming.enabled and not skip_learning:
+        return train_streaming_pipeline(
+            graph,
+            model,
+            walk_config,
+            train_config,
+            streaming,
+            seed=seed,
+            budget=budget,
+            start_nodes=start_nodes,
+        )
 
     walked = generate_walk_result(
         graph, model, walk_config, seed=seed, budget=budget, start_nodes=start_nodes
@@ -188,4 +492,10 @@ def train_pipeline(
         timings=timings,
         sampler_stats=walked.stats,
         sampler_memory_bytes=walked.memory_bytes,
+        corpus_summary={
+            "num_walks": walked.corpus.num_walks,
+            "token_count": walked.corpus.token_count,
+        },
+        peak_corpus_bytes=walked.corpus_bytes,
+        streaming=False,
     )

@@ -66,7 +66,9 @@ class RunReport:
     #: ``init_seconds``, ...), taken once after walk generation.
     sampler_stats: dict[str, float]
     sampler_memory_bytes: int
-    #: Corpus shape: ``num_walks`` and ``token_count``.
+    #: Corpus shape: ``num_walks``, ``token_count`` and
+    #: ``peak_corpus_bytes`` (the whole corpus when monolithic, the
+    #: shard/queue high-water mark when streaming).
     corpus_summary: dict[str, int]
     #: Evaluation results keyed by task name (empty when no evaluation).
     metrics: dict = field(default_factory=dict)
@@ -190,17 +192,17 @@ def run(
         spec.train or TrainConfig(),
         seed=spec.seed,
         skip_learning=spec.train is None,
+        streaming=spec.streaming,
     )
     metrics = _jsonable(_evaluate(spec, result, labels))
+    corpus_summary = {k: int(v) for k, v in result.corpus_summary.items()}
+    corpus_summary["peak_corpus_bytes"] = int(result.peak_corpus_bytes)
     return RunReport(
         spec=spec,
         timings=dict(result.timings),
         sampler_stats=dict(result.sampler_stats),
         sampler_memory_bytes=result.sampler_memory_bytes,
-        corpus_summary={
-            "num_walks": int(result.corpus.num_walks),
-            "token_count": int(result.corpus.token_count),
-        },
+        corpus_summary=corpus_summary,
         metrics=metrics,
         embeddings=result.embeddings if keep_embeddings else None,
         corpus=result.corpus if keep_corpus else None,

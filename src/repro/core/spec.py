@@ -28,7 +28,7 @@ import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
-from repro.core.config import TrainConfig, WalkConfig
+from repro.core.config import StreamingConfig, TrainConfig, WalkConfig
 from repro.errors import SpecError
 
 #: Downstream evaluation protocols runnable from a spec.
@@ -144,7 +144,9 @@ class RunSpec:
     names, so third-party components registered through
     :mod:`repro.registry` work here with no package edits. ``train=None``
     stops after walk generation (the setting of the paper's walk-phase
-    tables); ``evaluation`` requires ``train`` and a labeled graph.
+    tables); ``evaluation`` requires ``train`` and a labeled graph. A
+    ``streaming`` block runs the bounded-memory shard-streaming pipeline
+    (see :class:`~repro.core.config.StreamingConfig`).
     """
 
     graph: GraphSpec = field(default_factory=GraphSpec)
@@ -153,6 +155,7 @@ class RunSpec:
     walk: WalkConfig = field(default_factory=WalkConfig)
     train: TrainConfig | None = field(default_factory=TrainConfig)
     evaluation: EvalSpec | None = None
+    streaming: StreamingConfig | None = None
     seed: int = 0
     name: str = ""
 
@@ -219,6 +222,7 @@ class RunSpec:
             "walk": asdict(self.walk),
             "train": None if self.train is None else asdict(self.train),
             "evaluation": None if self.evaluation is None else asdict(self.evaluation),
+            "streaming": None if self.streaming is None else asdict(self.streaming),
         }
 
     @classmethod
@@ -261,6 +265,12 @@ class RunSpec:
             if eval_data is None
             else _dataclass_from_dict(EvalSpec, eval_data, "evaluation spec")
         )
+        streaming_data = data.get("streaming")
+        streaming = (
+            None
+            if streaming_data is None
+            else _dataclass_from_dict(StreamingConfig, streaming_data, "streaming config")
+        )
         return cls(
             graph=graph,
             model=data.get("model", "deepwalk"),
@@ -268,6 +278,7 @@ class RunSpec:
             walk=walk,
             train=train,
             evaluation=evaluation,
+            streaming=streaming,
             seed=int(data.get("seed", 0)),
             name=str(data.get("name", "")),
         )

@@ -124,16 +124,24 @@ class UniNet:
         *,
         start_nodes=None,
         walk_overrides: dict | None = None,
+        streaming=None,
         **train_params,
     ) -> TrainResult:
         """Full pipeline: walks + word2vec. Returns a TrainResult.
 
         ``train_params`` go to :class:`TrainConfig` (``window``,
         ``epochs``, ``mode``, ...); ``walk_overrides`` to
-        :class:`WalkConfig`.
+        :class:`WalkConfig`. ``streaming`` takes a
+        :class:`~repro.core.config.StreamingConfig` (or dict, or ``True``
+        for the defaults) to run the bounded-memory shard-streaming
+        pipeline instead of materializing the whole corpus.
         """
         walk_cfg = self.walk_config(num_walks, walk_length, **(walk_overrides or {}))
         train_cfg = TrainConfig(dimensions=dimensions, **train_params)
+        if streaming is True:
+            from repro.core.config import StreamingConfig
+
+            streaming = StreamingConfig()
         return train_pipeline(
             self.graph,
             self.model,
@@ -142,6 +150,7 @@ class UniNet:
             seed=int(self._rng.integers(2**31)),
             budget=self.budget,
             start_nodes=start_nodes,
+            streaming=streaming,
         )
 
     def __repr__(self) -> str:

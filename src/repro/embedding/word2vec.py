@@ -18,6 +18,23 @@ learning rate — the standard Mikolov recipe, vectorized:
 The trainer follows word2vec conventions: input vectors initialised
 uniformly in ±0.5/dim, output vectors at zero, sigmoid arguments clipped
 to ±8, and the *input* matrix is returned as the embedding.
+
+Streaming
+---------
+Training is organised around **canonical blocks** of ``block_walks``
+consecutive walks. :meth:`Word2Vec.build_vocab` fixes the vocabulary and
+the persistent ``w_in`` / ``w_out`` matrices; :meth:`Word2Vec.partial_fit`
+accepts corpus shards of *any* size, re-chunks their rows into canonical
+blocks, and trains each complete block immediately;
+:meth:`Word2Vec.finalize` flushes the last partial block and returns the
+embeddings. Every block draws its randomness (subsampling, dynamic
+windows, shuffling, negatives) from a generator derived from the trainer
+seed and the *global block index*, and each block's matrix is re-padded
+to the block's own maximum walk length — so the result is bitwise
+independent of how the incoming stream was sharded. :meth:`Word2Vec.fit`
+is the trivial one-shard case of the same code path, which is what makes
+streamed and monolithic training numerically identical. Peak pair
+memory is O(block), never O(corpus).
 """
 
 from __future__ import annotations
@@ -102,6 +119,11 @@ class Word2Vec:
     negative_sharing:
         draw one negative pool per batch instead of per pair — same
         expected gradient, several times faster on large corpora.
+    block_walks:
+        walks per canonical training block. Incoming shards (or the whole
+        corpus, in :meth:`fit`) are re-chunked into blocks of exactly this
+        many rows, so pair materialisation and subsampling draws are
+        bounded by O(block) and results do not depend on shard boundaries.
     """
 
     def __init__(
@@ -119,6 +141,7 @@ class Word2Vec:
         batch_pairs: int = 8192,
         max_row_step: float = 0.25,
         negative_sharing: bool = False,
+        block_walks: int = 8192,
         seed=None,
     ):
         if dimensions < 1:
@@ -133,6 +156,8 @@ class Word2Vec:
             raise TrainingError("alpha must be positive")
         if mode not in _MODES:
             raise TrainingError(f"mode must be one of {_MODES}, got {mode!r}")
+        if block_walks < 1:
+            raise TrainingError("block_walks must be >= 1")
         self.dimensions = dimensions
         self.window = window
         self.negative = negative
@@ -145,40 +170,237 @@ class Word2Vec:
         self.batch_pairs = batch_pairs
         self.max_row_step = max_row_step
         self.negative_sharing = negative_sharing
+        self.block_walks = block_walks
         self.seed = seed
         #: per-batch mean loss recorded by the last :meth:`fit` call
         self.training_loss_: list[float] = []
+        self._reset_stream_state()
+
+    # -- streaming state -----------------------------------------------
+    def _reset_stream_state(self) -> None:
+        self.vocab: Vocabulary | None = None
+        self.w_in: np.ndarray | None = None
+        self.w_out: np.ndarray | None = None
+        self._sampler: NegativeSampler | None = None
+        self._block_no = 0
+        self._total_blocks: int | None = None
+        self._pairs_trained = 0
+        self._block_entropy: int | None = None
+        # pending (walks, lengths) row slices not yet forming a full block
+        self._pending: list[tuple[np.ndarray, np.ndarray]] = []
+        self._pending_rows = 0
+
+    def _block_rng(self, block_no: int) -> np.random.Generator:
+        """Generator for one canonical block, keyed by global block index.
+
+        Deriving from ``(trainer entropy, block index)`` — not from a
+        shared sequential stream — is what makes training independent of
+        how the walk stream was sharded: block ``b`` consumes the same
+        random numbers whether it arrived in one corpus or in twenty
+        shards.
+        """
+        seq = np.random.SeedSequence(entropy=self._block_entropy, spawn_key=(block_no,))
+        return np.random.Generator(np.random.PCG64(seq))
+
+    def _block_lrs(self, block_no: int, num_batches: int) -> np.ndarray:
+        """Per-batch learning rates for one block.
+
+        With a known total block count the rate decays linearly over the
+        *global* corpus position (so one block reproduces the classic
+        whole-corpus linspace exactly); with an open-ended stream the
+        rate stays at ``alpha``.
+        """
+        if self._total_blocks is None:
+            return np.full(max(num_batches, 1), self.alpha)
+        local = np.arange(max(num_batches, 1)) / max(num_batches - 1, 1)
+        frac = np.minimum((block_no + local) / self._total_blocks, 1.0)
+        return self.alpha - (self.alpha - self.min_alpha) * frac
+
+    # ------------------------------------------------------------------
+    def build_vocab(self, counts, *, total_walks: int | None = None) -> "Word2Vec":
+        """Fix the vocabulary and allocate the persistent weight matrices.
+
+        Parameters
+        ----------
+        counts:
+            occurrence count per token id (index = token id), e.g.
+            :meth:`WalkCorpus.node_frequencies` or a degree-proportional
+            estimate for overlapped streaming.
+        total_walks:
+            total walks the stream will deliver, if known — enables the
+            linear learning-rate decay across the whole stream. ``None``
+            keeps the rate constant at ``alpha``.
+
+        Returns ``self`` so ``Word2Vec(...).build_vocab(...)`` chains.
+        """
+        self._reset_stream_state()
+        rng = as_rng(self.seed)
+        self.vocab = Vocabulary(np.asarray(counts, dtype=np.int64), min_count=self.min_count)
+        v, d = self.vocab.size, self.dimensions
+        self.w_in = ((rng.random((v, d)) - 0.5) / d).astype(np.float32)
+        self.w_out = np.zeros((v, d), dtype=np.float32)
+        self._sampler = NegativeSampler(self.vocab.counts)
+        self._block_entropy = int(rng.integers(2**63))
+        if total_walks is not None:
+            self._total_blocks = max(-(-int(total_walks) // self.block_walks), 1)
+        self.training_loss_ = []
+        return self
+
+    def partial_fit(self, shard) -> int:
+        """Absorb one :class:`~repro.walks.corpus.WalkCorpus` shard.
+
+        Rows are buffered until a full canonical block accumulates, then
+        each complete block is trained immediately. Returns the number of
+        training pairs consumed by this call. Requires
+        :meth:`build_vocab` first.
+        """
+        if self.w_in is None:
+            raise TrainingError("call build_vocab() before partial_fit()")
+        if shard.num_walks:
+            self._pending.append((shard.walks, shard.lengths))
+            self._pending_rows += shard.num_walks
+        trained = 0
+        while self._pending_rows >= self.block_walks:
+            trained += self._train_block(self._pop_block(self.block_walks))
+        if self._pending:
+            # a leftover tail view would pin its (possibly huge) base
+            # shard after the caller drops it; copy when the base
+            # dominates so resident memory — and buffered_bytes()'s
+            # report of it — really is just the pending rows
+            walks, lengths = self._pending[0]
+            if walks.base is not None and walks.base.nbytes > 2 * walks.nbytes:
+                self._pending[0] = (walks.copy(), lengths.copy())
+        return trained
+
+    def finalize(self) -> KeyedVectors:
+        """Flush the last partial block and return the embeddings.
+
+        Raises :class:`~repro.errors.TrainingError` if the whole stream
+        produced no training pairs (walks too short).
+        """
+        if self.w_in is None:
+            raise TrainingError("call build_vocab() before finalize()")
+        if self._pending_rows:
+            self._train_block(self._pop_block(self._pending_rows))
+        if self._pairs_trained == 0:
+            raise TrainingError("corpus produced no training pairs (walks too short?)")
+        return KeyedVectors(self.vocab.tokens, self.w_in)
+
+    def buffered_bytes(self) -> int:
+        """Bytes of walk rows buffered awaiting a full canonical block."""
+        return sum(w.nbytes + ln.nbytes for w, ln in self._pending)
 
     # ------------------------------------------------------------------
     def fit(self, corpus, num_nodes: int | None = None) -> KeyedVectors:
         """Train on a :class:`~repro.walks.corpus.WalkCorpus`.
 
         Returns :class:`KeyedVectors` keyed by the original node ids.
+        This is the one-shard case of the streaming path —
+        ``build_vocab`` + ``partial_fit`` + ``finalize`` — so feeding the
+        same corpus in shards (with the same counts and ``total_walks``)
+        produces numerically identical embeddings.
         """
-        rng = as_rng(self.seed)
-        vocab = Vocabulary.from_corpus(corpus, num_nodes, min_count=self.min_count)
-        encoded = vocab.encode(corpus.walks)
+        if num_nodes is None:
+            if corpus.num_walks == 0:
+                raise TrainingError("cannot infer num_nodes from an empty corpus")
+            num_nodes = int(corpus.walks.max()) + 1
+        self.build_vocab(
+            corpus.node_frequencies(num_nodes), total_walks=corpus.num_walks
+        )
+        self.partial_fit(corpus)
+        return self.finalize()
+
+    def fit_stream(self, stream, *, counts=None, total_walks: int | None = None) -> KeyedVectors:
+        """Train from a shard stream with bounded memory.
+
+        ``stream`` is any iterable of :class:`WalkCorpus` shards — e.g. a
+        :class:`~repro.walks.stream.WalkShardStream`,
+        :meth:`~repro.walks.vectorized.VectorizedWalkEngine.generate_stream`,
+        or a plain list. When ``counts`` is omitted the stream must be
+        re-iterable (a :class:`WalkShardStream` with a factory source):
+        an exact counting pass runs first, then the training pass.
+        ``total_walks`` defaults to the stream's own metadata when it has
+        any.
+        """
+        if counts is None:
+            freq = getattr(stream, "node_frequencies", None)
+            if freq is None:
+                raise TrainingError(
+                    "fit_stream needs explicit counts unless the stream provides "
+                    "node_frequencies() (see repro.walks.stream.WalkShardStream)"
+                )
+            if not getattr(stream, "reiterable", True):
+                raise TrainingError(
+                    "fit_stream without counts needs a re-iterable stream — the "
+                    "counting pass would consume a one-shot stream before any "
+                    "training; pass counts explicitly (e.g. a degree estimate) "
+                    "or build the stream from a factory callable"
+                )
+            counts = freq()
+        if total_walks is None:
+            total_walks = getattr(stream, "total_walks", None)
+        self.build_vocab(counts, total_walks=total_walks)
+        for shard in stream:
+            self.partial_fit(shard)
+        return self.finalize()
+
+    # ------------------------------------------------------------------
+    def _pop_block(self, rows: int) -> np.ndarray:
+        """Assemble the next canonical block of exactly ``rows`` rows.
+
+        The block matrix is re-padded to the block's own maximum walk
+        length, so its shape (and therefore every RNG draw made over it)
+        depends only on the walks it contains, not on the padding width
+        of whichever shards delivered them.
+        """
+        taken: list[tuple[np.ndarray, np.ndarray]] = []
+        need = rows
+        while need:
+            walks, lengths = self._pending[0]
+            if walks.shape[0] <= need:
+                taken.append((walks, lengths))
+                need -= walks.shape[0]
+                self._pending.pop(0)
+            else:
+                taken.append((walks[:need], lengths[:need]))
+                self._pending[0] = (walks[need:], lengths[need:])
+                need = 0
+        self._pending_rows -= rows
+        width = max(int(ln.max()) for __, ln in taken)
+        block = np.full((rows, width), -1, dtype=np.int64)
+        row = 0
+        for walks, __ in taken:
+            cols = min(walks.shape[1], width)
+            block[row : row + walks.shape[0], :cols] = walks[:, :cols]
+            row += walks.shape[0]
+        return block
+
+    def _train_block(self, block: np.ndarray) -> int:
+        """Subsample, pair-generate and SGD-train one canonical block."""
+        block_no = self._block_no
+        self._block_no += 1
+        rng = self._block_rng(block_no)
+        encoded = self.vocab.encode(block)
         if self.subsample > 0:
-            keep = vocab.subsample_keep_probs(self.subsample)
+            keep = self.vocab.subsample_keep_probs(self.subsample)
             drop = rng.random(encoded.shape) >= keep[np.maximum(encoded, 0)]
             encoded = np.where(drop & (encoded >= 0), -1, encoded)
 
         need_positions = self.mode == "cbow"
         pairs = self._generate_pairs(encoded, rng, with_positions=need_positions)
         if pairs[0].size == 0:
-            raise TrainingError("corpus produced no training pairs (walks too short?)")
-
-        v, d = vocab.size, self.dimensions
-        w_in = ((rng.random((v, d)) - 0.5) / d).astype(np.float32)
-        w_out = np.zeros((v, d), dtype=np.float32)
-        sampler = NegativeSampler(vocab.counts)
-        self.training_loss_ = []
-
+            return 0
         if self.mode == "skipgram":
-            self._train_sgns(w_in, w_out, pairs[0], pairs[1], sampler, rng)
+            self._train_sgns(
+                self.w_in, self.w_out, pairs[0], pairs[1], self._sampler, rng, block_no
+            )
         else:
-            self._train_cbow(w_in, w_out, pairs[0], pairs[1], pairs[2], sampler, rng)
-        return KeyedVectors(vocab.tokens, w_in)
+            self._train_cbow(
+                self.w_in, self.w_out, pairs[0], pairs[1], pairs[2],
+                self._sampler, rng, block_no,
+            )
+        self._pairs_trained += int(pairs[0].size)
+        return int(pairs[0].size)
 
     # ------------------------------------------------------------------
     def _generate_pairs(
@@ -226,16 +448,11 @@ class Word2Vec:
             )
         return np.concatenate(centers), np.concatenate(contexts)
 
-    def _lr_schedule(self, num_batches: int) -> np.ndarray:
-        if num_batches <= 1:
-            return np.array([self.alpha])
-        return np.linspace(self.alpha, self.min_alpha, num_batches)
-
     # ------------------------------------------------------------------
-    def _train_sgns(self, w_in, w_out, centers, contexts, sampler, rng) -> None:
+    def _train_sgns(self, w_in, w_out, centers, contexts, sampler, rng, block_no) -> None:
         n_pairs = centers.size
         batches_per_epoch = max((n_pairs + self.batch_pairs - 1) // self.batch_pairs, 1)
-        lrs = self._lr_schedule(self.epochs * batches_per_epoch)
+        lrs = self._block_lrs(block_no, self.epochs * batches_per_epoch)
         batch_no = 0
         for __ in range(self.epochs):
             perm = rng.permutation(n_pairs)
@@ -308,7 +525,7 @@ class Word2Vec:
         )
 
     # ------------------------------------------------------------------
-    def _train_cbow(self, w_in, w_out, centers, contexts, positions, sampler, rng) -> None:
+    def _train_cbow(self, w_in, w_out, centers, contexts, positions, sampler, rng, block_no) -> None:
         """CBOW: the mean of a center occurrence's context inputs predicts
         the center's output vector.
 
@@ -327,7 +544,7 @@ class Word2Vec:
         num_groups = starts.size
         groups_per_batch = max(self.batch_pairs // max(2 * self.window, 1), 1)
         batches_per_epoch = max((num_groups + groups_per_batch - 1) // groups_per_batch, 1)
-        lrs = self._lr_schedule(self.epochs * batches_per_epoch)
+        lrs = self._block_lrs(block_no, self.epochs * batches_per_epoch)
         batch_no = 0
         from repro.walks._segments import concat_ranges
 

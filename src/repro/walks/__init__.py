@@ -18,14 +18,16 @@ from repro.walks.corpus import WalkCorpus
 from repro.walks.engine import ReferenceWalkEngine
 from repro.walks.manager import ChainStore
 from repro.walks.models import MODEL_REGISTRY, MODELS, make_model, register_model
-from repro.walks.parallel import parallel_generate
+from repro.walks.parallel import parallel_generate, parallel_generate_stream
 from repro.walks.state import WalkerState
+from repro.walks.stream import WalkShardStream
 from repro.walks.vectorized import StepperBase, VectorizedWalkEngine
 
 __all__ = [
     "WalkerState",
     "ChainStore",
     "WalkCorpus",
+    "WalkShardStream",
     "ReferenceWalkEngine",
     "VectorizedWalkEngine",
     "StepperBase",
@@ -34,4 +36,5 @@ __all__ = [
     "make_model",
     "register_model",
     "parallel_generate",
+    "parallel_generate_stream",
 ]

@@ -54,11 +54,24 @@ class WalkCorpus:
 
     @classmethod
     def merge(cls, corpora) -> "WalkCorpus":
-        """Concatenate several corpora (walk order preserved)."""
+        """Concatenate several corpora (walk order preserved).
+
+        A single input is returned as-is (no copy), and same-width inputs
+        concatenate directly instead of being copied through a freshly
+        ``-1``-filled matrix — merging N equal shards costs one copy, not
+        a fill plus a copy.
+        """
         corpora = list(corpora)
         if not corpora:
             return cls(np.empty((0, 1), dtype=np.int64), np.empty(0, dtype=np.int64))
+        if len(corpora) == 1:
+            return corpora[0]
         max_len = max(c.walks.shape[1] for c in corpora)
+        if all(c.walks.shape[1] == max_len for c in corpora):
+            return cls(
+                np.concatenate([c.walks for c in corpora]),
+                np.concatenate([c.lengths for c in corpora]),
+            )
         total = sum(c.num_walks for c in corpora)
         walks = np.full((total, max_len), -1, dtype=np.int64)
         lengths = np.empty(total, dtype=np.int64)
@@ -79,6 +92,11 @@ class WalkCorpus:
     def token_count(self) -> int:
         """Total number of node occurrences across all walks."""
         return int(self.lengths.sum())
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the corpus arrays (walk matrix + lengths)."""
+        return self.walks.nbytes + self.lengths.nbytes
 
     def iter_walks(self):
         """Yield each walk as a trimmed int64 array."""

@@ -4,13 +4,20 @@ UniNet "parallelizes the random walk generation by assigning walkers to
 threads evenly". The CPython analog is process-level parallelism: the
 start-node set is split into contiguous shards, each worker runs its own
 :class:`~repro.walks.vectorized.VectorizedWalkEngine` over its shard with
-an independent child RNG stream, and the shard corpora are merged.
+an independent child RNG stream, and the shard corpora are merged (or
+streamed to a consumer as workers finish).
+
+Determinism model: the shard plan and the per-shard seeds depend only on
+``(seed, start set, shard size)`` — **not** on ``num_workers`` and not on
+the order shards happen to complete — so a fixed seed reproduces the
+identical merged corpus on 1, 4 or 16 workers. Workers are purely a
+concurrency knob.
 
 Two fidelity notes:
 
 * On fork-based platforms (Linux) the CSR graph is shared copy-on-write,
   mirroring the shared in-memory network storage of the original.
-* M-H chain state is *per worker* here (processes cannot cheaply share
+* M-H chain state is *per shard* here (processes cannot cheaply share
   the LAST_x array), so states visited by several shards run independent
   chains. The sampled law is unchanged — each chain still converges to
   G_x — only cross-walker chain reuse is lost, which affects constant
@@ -21,13 +28,19 @@ Two fidelity notes:
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
 import numpy as np
 
 from repro.errors import WalkError
 from repro.utils.rng import spawn_rngs
 from repro.walks.corpus import WalkCorpus
+
+#: Default number of start-node shards when no shard size is requested —
+#: enough slices to keep up to this many workers busy, small enough that
+#: per-shard engine setup stays negligible.
+DEFAULT_NUM_SHARDS = 16
 
 # module-level worker state (populated per process via the initializer)
 _WORKER = {}
@@ -50,31 +63,30 @@ def _run_shard(args):
     return corpus.walks, corpus.lengths
 
 
-def parallel_generate(
-    graph,
-    model,
-    *,
-    num_walks: int = 10,
-    walk_length: int = 80,
-    sampler: str = "mh",
-    num_workers: int | None = None,
-    start_nodes=None,
-    seed=None,
-    engine_kwargs: dict | None = None,
-    **model_params,
-) -> WalkCorpus:
-    """Generate walks with a pool of worker processes.
+def _shard_plan(starts: np.ndarray, num_walks: int, shard_walks: int | None):
+    """Split the start set into contiguous chunks of worker-independent size.
 
-    ``model`` must be a registry name (instances cannot be pickled
-    portably); per-worker engines receive independent seed streams, so
-    results are reproducible for a fixed ``(seed, num_workers)`` pair.
+    ``shard_walks`` bounds the walks (start nodes x waves) per shard;
+    ``None`` slices the start set into :data:`DEFAULT_NUM_SHARDS` chunks.
+    The plan is a pure function of the inputs, never of the worker count.
+
+    A shard cannot be smaller than one start node's ``num_walks`` waves
+    (each start runs all its waves in one worker call), so
+    ``shard_walks < num_walks`` still yields ``num_walks``-walk shards —
+    the effective bound is ``max(shard_walks, num_walks)``.
     """
-    if not isinstance(model, str):
-        raise WalkError("parallel_generate needs a model registry name")
-    num_workers = num_workers or min(os.cpu_count() or 1, 8)
-    if num_workers < 1:
-        raise WalkError("num_workers must be >= 1")
+    if shard_walks is None:
+        per = max(1, -(-starts.size // DEFAULT_NUM_SHARDS))
+    else:
+        if shard_walks < 1:
+            raise WalkError("shard_walks must be >= 1")
+        per = max(1, shard_walks // max(num_walks, 1))
+    return [starts[lo : lo + per] for lo in range(0, starts.size, per)]
 
+
+def _prepare(graph, model, num_walks, walk_length, start_nodes, seed, shard_walks, **model_params):
+    if not isinstance(model, str):
+        raise WalkError("parallel walk generation needs a model registry name")
     from repro.walks.models import make_model
 
     bound = make_model(model, graph, **model_params)
@@ -85,23 +97,127 @@ def parallel_generate(
     )
     if starts.size == 0:
         raise WalkError("no valid start nodes")
-    num_workers = min(num_workers, starts.size)
-    shards = np.array_split(starts, num_workers)
-    seeds = [int(r.integers(2**31)) for r in spawn_rngs(seed, num_workers)]
+    chunks = _shard_plan(starts, num_walks, shard_walks)
+    seeds = [int(r.integers(2**31)) for r in spawn_rngs(seed, len(chunks))]
+    jobs = [
+        (chunk, num_walks, walk_length, shard_seed)
+        for chunk, shard_seed in zip(chunks, seeds)
+    ]
+    return jobs
+
+
+def parallel_generate_stream(
+    graph,
+    model,
+    *,
+    num_walks: int = 10,
+    walk_length: int = 80,
+    sampler: str = "mh",
+    num_workers: int | None = None,
+    start_nodes=None,
+    seed=None,
+    shard_walks: int | None = None,
+    in_order: bool = False,
+    engine_kwargs: dict | None = None,
+    **model_params,
+):
+    """Yield ``(shard_index, WalkCorpus)`` pairs as workers finish.
+
+    The producer half of the streaming pipeline: shard corpora surface
+    the moment their worker completes instead of waiting for a global
+    merge, so a consumer (e.g. the streaming word2vec trainer) can
+    overlap training with the remaining walk generation while only
+    O(shard) corpus bytes are in flight. ``shard_index`` is the shard's
+    position in the deterministic plan; sorting by it recovers the
+    canonical corpus order regardless of arrival order. ``in_order=True``
+    yields shards in plan order.
+
+    Jobs are submitted in a sliding window of ``2 * num_workers`` and
+    each future is dropped as soon as its shard is yielded, so at most
+    one window of shards is in flight at a time — a slow consumer gates
+    the producers instead of the whole corpus piling up in completed
+    futures.
+    """
+    jobs = _prepare(
+        graph, model, num_walks, walk_length, start_nodes, seed, shard_walks,
+        **model_params,
+    )
+    num_workers = num_workers if num_workers is not None else min(os.cpu_count() or 1, 8)
+    if num_workers < 1:
+        raise WalkError("num_workers must be >= 1")
+    num_workers = min(num_workers, len(jobs))
 
     if num_workers == 1:
         _init_worker(graph, model, sampler, engine_kwargs or {}, model_params)
-        walks, lengths = _run_shard((shards[0], num_walks, walk_length, seeds[0]))
-        return WalkCorpus(walks, lengths)
+        for index, job in enumerate(jobs):
+            walks, lengths = _run_shard(job)
+            yield index, WalkCorpus(walks, lengths)
+        return
 
-    jobs = [
-        (shard, num_walks, walk_length, shard_seed)
-        for shard, shard_seed in zip(shards, seeds)
-    ]
+    window = 2 * num_workers
     with ProcessPoolExecutor(
         max_workers=num_workers,
         initializer=_init_worker,
         initargs=(graph, model, sampler, engine_kwargs or {}, model_params),
     ) as pool:
-        parts = list(pool.map(_run_shard, jobs))
-    return WalkCorpus.merge([WalkCorpus(w, ln) for w, ln in parts])
+        next_job = 0
+        if in_order:
+            pending: deque = deque()
+            while next_job < len(jobs) or pending:
+                while next_job < len(jobs) and len(pending) < window:
+                    pending.append((next_job, pool.submit(_run_shard, jobs[next_job])))
+                    next_job += 1
+                index, future = pending.popleft()
+                walks, lengths = future.result()
+                yield index, WalkCorpus(walks, lengths)
+        else:
+            futures: dict = {}
+            while next_job < len(jobs) or futures:
+                while next_job < len(jobs) and len(futures) < window:
+                    futures[pool.submit(_run_shard, jobs[next_job])] = next_job
+                    next_job += 1
+                done, __ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures.pop(future)
+                    walks, lengths = future.result()
+                    yield index, WalkCorpus(walks, lengths)
+
+
+def parallel_generate(
+    graph,
+    model,
+    *,
+    num_walks: int = 10,
+    walk_length: int = 80,
+    sampler: str = "mh",
+    num_workers: int | None = None,
+    start_nodes=None,
+    seed=None,
+    shard_walks: int | None = None,
+    engine_kwargs: dict | None = None,
+    **model_params,
+) -> WalkCorpus:
+    """Generate walks with a pool of worker processes and merge the shards.
+
+    ``model`` must be a registry name (instances cannot be pickled
+    portably). Shards are merged in plan order, so for a fixed ``seed``
+    the result is identical whatever ``num_workers`` is and however the
+    shards' completion happened to interleave.
+    """
+    parts = sorted(
+        parallel_generate_stream(
+            graph,
+            model,
+            num_walks=num_walks,
+            walk_length=walk_length,
+            sampler=sampler,
+            num_workers=num_workers,
+            start_nodes=start_nodes,
+            seed=seed,
+            shard_walks=shard_walks,
+            engine_kwargs=engine_kwargs,
+            **model_params,
+        ),
+        key=lambda pair: pair[0],
+    )
+    return WalkCorpus.merge([corpus for __, corpus in parts])

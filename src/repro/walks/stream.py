@@ -1,0 +1,126 @@
+"""Walk shard streams: the producer side of the streaming pipeline.
+
+A :class:`WalkShardStream` is an iterator of :class:`WalkCorpus` shards
+with known ``num_nodes`` — the contract between walk generation and the
+streaming word2vec trainer (:meth:`repro.embedding.Word2Vec.fit_stream`).
+Peak corpus memory of a streamed run is O(largest shard), never O(total
+corpus).
+
+Two flavours:
+
+* **Re-iterable** — built from a *factory* callable that returns a fresh
+  shard iterator each time (e.g. constructing a new, identically seeded
+  walk engine). Supports the exact-vocabulary counting pass
+  (:meth:`node_frequencies`) followed by the training pass.
+* **One-shot** — built from a plain iterable/generator; iterating twice
+  raises. This is what an overlapped producer/consumer pipeline uses
+  when the vocabulary comes from a degree estimate instead of a second
+  walk pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WalkError
+from repro.walks.corpus import WalkCorpus
+
+
+class WalkShardStream:
+    """A stream of :class:`WalkCorpus` shards over a known node id space.
+
+    Parameters
+    ----------
+    source:
+        either a callable returning a fresh iterator of shards
+        (re-iterable stream) or a plain iterable of shards (one-shot).
+    num_nodes:
+        size of the node id space the shards draw from (the word2vec
+        vocabulary universe).
+    total_walks:
+        total number of walks the stream will deliver, when known —
+        lets the trainer schedule its learning-rate decay.
+    walk_length:
+        configured maximum walk length, when known (shard sizing info).
+    """
+
+    def __init__(self, source, *, num_nodes: int, total_walks: int | None = None,
+                 walk_length: int | None = None):
+        if num_nodes < 1:
+            raise WalkError("num_nodes must be >= 1")
+        self._factory = source if callable(source) else None
+        self._once = None if callable(source) else iter(source)
+        self._consumed = False
+        self.num_nodes = int(num_nodes)
+        self.total_walks = None if total_walks is None else int(total_walks)
+        self.walk_length = None if walk_length is None else int(walk_length)
+
+    @property
+    def reiterable(self) -> bool:
+        """True when the stream can be iterated more than once."""
+        return self._factory is not None
+
+    def __iter__(self):
+        if self._factory is not None:
+            return iter(self._factory())
+        if self._consumed:
+            raise WalkError(
+                "this WalkShardStream is one-shot and already consumed; "
+                "build it from a factory callable to re-iterate"
+            )
+        self._consumed = True
+        return self._once
+
+    # ------------------------------------------------------------------
+    def node_frequencies(self) -> np.ndarray:
+        """Exact per-node occurrence counts, accumulated shard by shard.
+
+        One full pass over the stream (so a one-shot stream is consumed);
+        memory stays O(num_nodes + shard).
+        """
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for shard in self:
+            counts += shard.node_frequencies(self.num_nodes)
+        return counts
+
+    def materialize(self) -> WalkCorpus:
+        """Merge the whole stream into one corpus (monolithic escape hatch)."""
+        return WalkCorpus.merge(list(self))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_corpus(cls, corpus: WalkCorpus, *, num_nodes: int | None = None,
+                    shard_walks: int | None = None) -> "WalkShardStream":
+        """Re-iterable stream of row slices of an in-memory corpus.
+
+        Shards are zero-copy views of ``shard_walks`` rows each (the
+        whole corpus as one shard when ``None``). Mostly useful for
+        testing streamed-vs-monolithic equivalence.
+        """
+        if num_nodes is None:
+            if corpus.num_walks == 0:
+                raise WalkError("cannot infer num_nodes from an empty corpus")
+            num_nodes = int(corpus.walks.max()) + 1
+        step = corpus.num_walks if shard_walks is None else int(shard_walks)
+        if step < 1:
+            raise WalkError("shard_walks must be >= 1")
+
+        def factory():
+            for lo in range(0, corpus.num_walks, step):
+                yield WalkCorpus(
+                    corpus.walks[lo : lo + step], corpus.lengths[lo : lo + step]
+                )
+
+        return cls(
+            factory,
+            num_nodes=num_nodes,
+            total_walks=corpus.num_walks,
+            walk_length=corpus.walks.shape[1],
+        )
+
+    def __repr__(self) -> str:
+        kind = "re-iterable" if self.reiterable else "one-shot"
+        return (
+            f"WalkShardStream({kind}, num_nodes={self.num_nodes}, "
+            f"total_walks={self.total_walks})"
+        )

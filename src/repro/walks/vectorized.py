@@ -754,6 +754,43 @@ class VectorizedWalkEngine:
             )
         return WalkCorpus(walks, lengths)
 
+    def generate_stream(
+        self,
+        num_walks: int = 10,
+        walk_length: int = 80,
+        start_nodes=None,
+        *,
+        shard_walks: int | None = None,
+    ):
+        """Yield the walk corpus as a stream of bounded shards.
+
+        Same walk semantics as :meth:`generate`, but instead of one
+        monolithic matrix the walks arrive as :class:`WalkCorpus` shards
+        of at most ``shard_walks`` rows (default: one full wave per
+        shard), so a consumer can train on each shard while only
+        O(shard) corpus bytes are resident. With ``shard_walks=None``
+        the shard boundaries fall on wave boundaries and the RNG
+        consumption is identical to :meth:`generate` — merging the
+        stream reproduces the monolithic corpus exactly.
+        """
+        if num_walks < 1 or walk_length < 1:
+            raise WalkError("num_walks and walk_length must be >= 1")
+        if shard_walks is not None and shard_walks < 1:
+            raise WalkError("shard_walks must be >= 1")
+        if start_nodes is None:
+            starts = self.model.valid_start_nodes()
+        else:
+            starts = np.asarray(start_nodes, dtype=np.int64)
+        if starts.size == 0:
+            raise WalkError("no valid start nodes for this model/graph")
+        chunk = starts.size if shard_walks is None else min(shard_walks, starts.size)
+        for __ in range(num_walks):
+            for lo in range(0, starts.size, chunk):
+                part = starts[lo : lo + chunk]
+                walks = np.full((part.size, walk_length), -1, dtype=np.int64)
+                lengths = self._run_wave(part, walk_length, walks, 0)
+                yield WalkCorpus(walks, lengths)
+
     def _run_wave(self, starts, walk_length, walks, row_base) -> np.ndarray:
         graph, model, stepper, rng = self.graph, self.model, self.stepper, self.rng
         k = starts.size

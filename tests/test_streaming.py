@@ -1,0 +1,436 @@
+"""Streaming shard pipeline: bounded-memory walk→train.
+
+Covers the four layers of the streaming refactor:
+
+* trainer — ``build_vocab`` / ``partial_fit`` / ``finalize`` parity with
+  monolithic :meth:`Word2Vec.fit` for *any* shard boundaries;
+* walks — ``generate_stream`` ≡ ``generate``, ``WalkShardStream``
+  semantics, corpus memory accounting;
+* parallel — seed-for-seed determinism regardless of worker count and
+  shard arrival order;
+* core — ``StreamingConfig`` plumbing through the pipeline, ``UniNet``,
+  ``RunSpec`` and the CLI, overlap equivalence, bounded peak bytes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import StreamingConfig, TrainConfig, WalkConfig
+from repro.core.pipeline import train_pipeline
+from repro.embedding import Word2Vec
+from repro.errors import TrainingError, WalkError
+from repro.walks import (
+    VectorizedWalkEngine,
+    WalkCorpus,
+    WalkShardStream,
+    parallel_generate,
+    parallel_generate_stream,
+)
+
+
+@pytest.fixture
+def graph_and_corpus(small_unweighted_graph):
+    engine = VectorizedWalkEngine(small_unweighted_graph, "deepwalk", sampler="mh", seed=11)
+    corpus = engine.generate(num_walks=3, walk_length=16)
+    return small_unweighted_graph, corpus
+
+
+# ---------------------------------------------------------------------------
+# trainer: streamed == monolithic, bitwise
+# ---------------------------------------------------------------------------
+class TestStreamedTrainingParity:
+    @pytest.mark.parametrize("shard_walks", [1, 7, 100, 10_000])
+    def test_any_shard_count_matches_fit(self, graph_and_corpus, shard_walks):
+        graph, corpus = graph_and_corpus
+        kv_mono = Word2Vec(dimensions=12, epochs=2, seed=5, block_walks=64).fit(
+            corpus, num_nodes=graph.num_nodes
+        )
+        stream = WalkShardStream.from_corpus(
+            corpus, num_nodes=graph.num_nodes, shard_walks=shard_walks
+        )
+        kv_stream = Word2Vec(dimensions=12, epochs=2, seed=5, block_walks=64).fit_stream(stream)
+        assert np.array_equal(kv_mono.vectors, kv_stream.vectors)
+        assert np.array_equal(kv_mono.keys, kv_stream.keys)
+
+    def test_ragged_shard_widths_match_fit(self, graph_and_corpus):
+        """Shards re-padded to different widths still train identically."""
+        graph, corpus = graph_and_corpus
+        kv_mono = Word2Vec(dimensions=8, seed=3, block_walks=50).fit(
+            corpus, num_nodes=graph.num_nodes
+        )
+        shards = []
+        for lo in range(0, corpus.num_walks, 83):
+            lengths = corpus.lengths[lo : lo + 83]
+            width = int(lengths.max())  # trim each shard to its own width
+            shards.append(WalkCorpus(corpus.walks[lo : lo + 83, :width], lengths))
+        w2v = Word2Vec(dimensions=8, seed=3, block_walks=50)
+        w2v.build_vocab(
+            corpus.node_frequencies(graph.num_nodes), total_walks=corpus.num_walks
+        )
+        for shard in shards:
+            w2v.partial_fit(shard)
+        assert np.array_equal(kv_mono.vectors, w2v.finalize().vectors)
+
+    def test_subsample_and_cbow_parity(self, graph_and_corpus):
+        graph, corpus = graph_and_corpus
+        kwargs = dict(dimensions=8, seed=9, block_walks=37, subsample=1e-2, mode="cbow")
+        kv_mono = Word2Vec(**kwargs).fit(corpus, num_nodes=graph.num_nodes)
+        stream = WalkShardStream.from_corpus(
+            corpus, num_nodes=graph.num_nodes, shard_walks=29
+        )
+        kv_stream = Word2Vec(**kwargs).fit_stream(stream)
+        assert np.array_equal(kv_mono.vectors, kv_stream.vectors)
+
+    def test_partial_fit_requires_build_vocab(self, graph_and_corpus):
+        __, corpus = graph_and_corpus
+        with pytest.raises(TrainingError):
+            Word2Vec(dimensions=4).partial_fit(corpus)
+        with pytest.raises(TrainingError):
+            Word2Vec(dimensions=4).finalize()
+
+    def test_short_walk_stream_rejected(self):
+        corpus = WalkCorpus.from_lists([[0], [1]])
+        w2v = Word2Vec(dimensions=4).build_vocab(np.array([1, 1]))
+        w2v.partial_fit(corpus)
+        with pytest.raises(TrainingError):
+            w2v.finalize()
+
+    def test_buffered_bytes_tracks_pending_rows(self, graph_and_corpus):
+        __, corpus = graph_and_corpus
+        w2v = Word2Vec(dimensions=4, block_walks=10_000).build_vocab(
+            corpus.node_frequencies(200), total_walks=corpus.num_walks
+        )
+        assert w2v.buffered_bytes() == 0
+        w2v.partial_fit(corpus)  # smaller than one block: everything buffers
+        assert w2v.buffered_bytes() == corpus.nbytes
+
+
+# ---------------------------------------------------------------------------
+# walks: stream generation and shard-stream protocol
+# ---------------------------------------------------------------------------
+class TestGenerateStream:
+    def test_wave_shards_reproduce_generate(self, small_unweighted_graph):
+        mono = VectorizedWalkEngine(
+            small_unweighted_graph, "deepwalk", sampler="mh", seed=4
+        ).generate(num_walks=3, walk_length=10)
+        shards = list(
+            VectorizedWalkEngine(
+                small_unweighted_graph, "deepwalk", sampler="mh", seed=4
+            ).generate_stream(num_walks=3, walk_length=10)
+        )
+        assert len(shards) == 3  # one per wave
+        merged = WalkCorpus.merge(shards)
+        assert np.array_equal(mono.walks, merged.walks)
+        assert np.array_equal(mono.lengths, merged.lengths)
+
+    def test_shard_walks_bounds_shard_size(self, small_unweighted_graph):
+        shards = list(
+            VectorizedWalkEngine(
+                small_unweighted_graph, "deepwalk", sampler="mh", seed=4
+            ).generate_stream(num_walks=2, walk_length=8, shard_walks=33)
+        )
+        assert all(s.num_walks <= 33 for s in shards)
+        total = sum(s.num_walks for s in shards)
+        assert total == 2 * small_unweighted_graph.num_nodes
+
+    def test_invalid_args_rejected(self, small_unweighted_graph):
+        engine = VectorizedWalkEngine(small_unweighted_graph, "deepwalk", seed=1)
+        with pytest.raises(WalkError):
+            list(engine.generate_stream(num_walks=0))
+        with pytest.raises(WalkError):
+            list(engine.generate_stream(shard_walks=0))
+
+
+class TestWalkShardStream:
+    def test_reiterable_counts_then_trains(self, graph_and_corpus):
+        graph, corpus = graph_and_corpus
+        stream = WalkShardStream.from_corpus(
+            corpus, num_nodes=graph.num_nodes, shard_walks=50
+        )
+        assert stream.reiterable
+        counts = stream.node_frequencies()
+        assert np.array_equal(counts, corpus.node_frequencies(graph.num_nodes))
+        # second pass still works
+        assert stream.materialize().token_count == corpus.token_count
+
+    def test_one_shot_stream_guards_reuse(self, graph_and_corpus):
+        __, corpus = graph_and_corpus
+        stream = WalkShardStream([corpus], num_nodes=200)
+        assert not stream.reiterable
+        assert sum(s.num_walks for s in stream) == corpus.num_walks
+        with pytest.raises(WalkError):
+            list(stream)
+
+    def test_fit_stream_without_counts_needs_protocol(self, graph_and_corpus):
+        __, corpus = graph_and_corpus
+        with pytest.raises(TrainingError):
+            Word2Vec(dimensions=4).fit_stream(iter([corpus]))
+
+    def test_fit_stream_one_shot_without_counts_rejected_upfront(self, graph_and_corpus):
+        """The counting pass must not silently consume a one-shot stream."""
+        __, corpus = graph_and_corpus
+        stream = WalkShardStream([corpus], num_nodes=200)
+        with pytest.raises(TrainingError, match="re-iterable"):
+            Word2Vec(dimensions=4).fit_stream(stream)
+        # the stream was not consumed by the failed call
+        assert sum(s.num_walks for s in stream) == corpus.num_walks
+
+    def test_fit_stream_one_shot_with_counts_ok(self, graph_and_corpus):
+        graph, corpus = graph_and_corpus
+        kv = Word2Vec(dimensions=4, seed=1).fit_stream(
+            WalkShardStream([corpus], num_nodes=graph.num_nodes),
+            counts=corpus.node_frequencies(graph.num_nodes),
+            total_walks=corpus.num_walks,
+        )
+        assert len(kv) > 0
+
+
+class TestCorpusMemoryAccounting:
+    def test_nbytes(self):
+        corpus = WalkCorpus.from_lists([[0, 1, 2], [1, 2]])
+        assert corpus.nbytes == corpus.walks.nbytes + corpus.lengths.nbytes
+
+    def test_merge_single_is_passthrough(self):
+        corpus = WalkCorpus.from_lists([[0, 1, 2]])
+        assert WalkCorpus.merge([corpus]) is corpus
+
+    def test_merge_same_width_and_ragged(self):
+        a = WalkCorpus.from_lists([[0, 1, 2], [2, 1, 0]])
+        b = WalkCorpus.from_lists([[1, 2, 0]])
+        c = WalkCorpus.from_lists([[0, 1]])
+        same = WalkCorpus.merge([a, b])
+        assert same.num_walks == 3 and same.walks.shape[1] == 3
+        ragged = WalkCorpus.merge([a, c])
+        assert ragged.num_walks == 3 and ragged.walks.shape[1] == 3
+        assert ragged.lengths.tolist() == [3, 3, 2]
+
+    def test_walk_result_carries_corpus_bytes(self, small_unweighted_graph):
+        from repro.core.pipeline import generate_walk_result
+
+        result = generate_walk_result(
+            small_unweighted_graph, "deepwalk", WalkConfig(num_walks=1, walk_length=6),
+            seed=3,
+        )
+        assert result.corpus_bytes == result.corpus.nbytes
+        assert result.corpus_bytes > 0
+
+
+# ---------------------------------------------------------------------------
+# parallel: worker-count and arrival-order determinism
+# ---------------------------------------------------------------------------
+class TestParallelDeterminism:
+    def test_same_seed_same_corpus_any_worker_count(self, small_unweighted_graph):
+        corpora = [
+            parallel_generate(
+                small_unweighted_graph, "deepwalk",
+                num_walks=1, walk_length=8, num_workers=workers, seed=13,
+            )
+            for workers in (1, 2, 3)
+        ]
+        for other in corpora[1:]:
+            assert np.array_equal(corpora[0].walks, other.walks)
+            assert np.array_equal(corpora[0].lengths, other.lengths)
+
+    def test_arrival_order_does_not_change_merge(self, small_unweighted_graph):
+        pairs = list(
+            parallel_generate_stream(
+                small_unweighted_graph, "deepwalk",
+                num_walks=1, walk_length=8, num_workers=1, seed=13, shard_walks=20,
+            )
+        )
+        assert len(pairs) > 1
+        # merge in reversed arrival order, sorting by shard index — the
+        # canonical corpus must come out regardless
+        reordered = sorted(reversed(pairs), key=lambda p: p[0])
+        merged = WalkCorpus.merge([c for __, c in reordered])
+        reference = parallel_generate(
+            small_unweighted_graph, "deepwalk",
+            num_walks=1, walk_length=8, num_workers=2, seed=13, shard_walks=20,
+        )
+        assert np.array_equal(merged.walks, reference.walks)
+
+    def test_stream_in_order_yields_plan_order(self, small_unweighted_graph):
+        indices = [
+            index
+            for index, __ in parallel_generate_stream(
+                small_unweighted_graph, "deepwalk",
+                num_walks=1, walk_length=6, num_workers=2, seed=3,
+                shard_walks=25, in_order=True,
+            )
+        ]
+        assert indices == sorted(indices)
+
+    def test_shard_walks_validated(self, small_unweighted_graph):
+        with pytest.raises(WalkError):
+            list(
+                parallel_generate_stream(
+                    small_unweighted_graph, "deepwalk", seed=1, shard_walks=0
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# core: config, pipeline, spec, CLI
+# ---------------------------------------------------------------------------
+class TestStreamingConfig:
+    def test_validation(self):
+        with pytest.raises(WalkError):
+            StreamingConfig(shard_walks=0)
+        with pytest.raises(WalkError):
+            StreamingConfig(max_corpus_bytes=0)
+        with pytest.raises(WalkError):
+            StreamingConfig(shard_walks=10, max_corpus_bytes=100)
+        with pytest.raises(WalkError):
+            StreamingConfig(vocab="census")
+        with pytest.raises(WalkError):
+            StreamingConfig(queue_shards=0)
+
+    def test_resolve_shard_walks(self):
+        assert StreamingConfig(shard_walks=7).resolve_shard_walks(80, 1000) == 7
+        # 8 bytes * (length + 1) per walk
+        cfg = StreamingConfig(max_corpus_bytes=8 * 81 * 5)
+        assert cfg.resolve_shard_walks(80, 1000) == 5
+        assert StreamingConfig().resolve_shard_walks(80, 1000) == 1000
+
+
+class TestStreamingPipeline:
+    @pytest.fixture
+    def configs(self):
+        return WalkConfig(num_walks=2, walk_length=12), TrainConfig(dimensions=8, epochs=1)
+
+    def test_peak_bytes_bounded_by_shard(self, small_unweighted_graph, configs):
+        walk_cfg, train_cfg = configs
+        mono = train_pipeline(small_unweighted_graph, "deepwalk", walk_cfg, train_cfg, seed=21)
+        streamed = train_pipeline(
+            small_unweighted_graph, "deepwalk", walk_cfg, train_cfg, seed=21,
+            streaming=StreamingConfig(shard_walks=25),
+        )
+        assert streamed.streaming and streamed.corpus is None
+        assert streamed.corpus_summary == mono.corpus_summary
+        assert mono.peak_corpus_bytes == mono.corpus_summary["num_walks"] * 13 * 8
+        # shard + trainer block, each ~25 walks — far under the full corpus
+        assert streamed.peak_corpus_bytes < mono.peak_corpus_bytes / 3
+        assert len(streamed.embeddings) == len(mono.embeddings)
+
+    def test_exact_vocab_wave_shards_reproduce_monolithic(
+        self, small_unweighted_graph, configs
+    ):
+        walk_cfg, train_cfg = configs
+        mono = train_pipeline(small_unweighted_graph, "deepwalk", walk_cfg, train_cfg, seed=21)
+        streamed = train_pipeline(
+            small_unweighted_graph, "deepwalk", walk_cfg, train_cfg, seed=21,
+            streaming=StreamingConfig(vocab="exact", block_walks=8192),
+        )
+        assert np.array_equal(mono.embeddings.vectors, streamed.embeddings.vectors)
+
+    def test_overlap_matches_sequential(self, small_unweighted_graph, configs):
+        walk_cfg, train_cfg = configs
+        results = [
+            train_pipeline(
+                small_unweighted_graph, "deepwalk", walk_cfg, train_cfg, seed=8,
+                streaming=StreamingConfig(shard_walks=30, overlap=overlap),
+            )
+            for overlap in (False, True)
+        ]
+        assert np.array_equal(
+            results[0].embeddings.vectors, results[1].embeddings.vectors
+        )
+
+    def test_consumer_failure_reaps_producer_thread(
+        self, small_unweighted_graph, configs, monkeypatch
+    ):
+        """A mid-stream trainer crash must not strand the walk producer."""
+        import threading
+
+        walk_cfg, train_cfg = configs
+        calls = {"n": 0}
+        original = Word2Vec.partial_fit
+
+        def failing(self, shard):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("consumer died")
+            return original(self, shard)
+
+        monkeypatch.setattr(Word2Vec, "partial_fit", failing)
+        with pytest.raises(RuntimeError, match="consumer died"):
+            train_pipeline(
+                small_unweighted_graph, "deepwalk", walk_cfg, train_cfg, seed=1,
+                streaming=StreamingConfig(shard_walks=20, overlap=True, queue_shards=1),
+            )
+        assert not any(t.name == "walk-producer" for t in threading.enumerate())
+
+    def test_skip_learning_ignores_streaming(self, small_unweighted_graph, configs):
+        walk_cfg, train_cfg = configs
+        result = train_pipeline(
+            small_unweighted_graph, "deepwalk", walk_cfg, train_cfg, seed=1,
+            skip_learning=True, streaming=StreamingConfig(shard_walks=10),
+        )
+        assert result.corpus is not None and not result.streaming
+
+    def test_uninet_streaming_true_uses_defaults(self, small_unweighted_graph):
+        from repro import UniNet
+
+        net = UniNet(small_unweighted_graph, model="deepwalk", seed=3)
+        result = net.train(num_walks=1, walk_length=8, dimensions=8, streaming=True)
+        assert result.streaming
+        assert result.corpus_summary["num_walks"] == small_unweighted_graph.num_nodes
+
+
+class TestStreamingSpec:
+    def test_round_trip(self):
+        from repro.core.spec import RunSpec
+
+        spec = RunSpec.from_dict(
+            {
+                "graph": {"dataset": "amazon", "scale": 0.05, "seed": 1},
+                "walk": {"num_walks": 1, "walk_length": 8},
+                "streaming": {"shard_walks": 64, "overlap": True},
+            }
+        )
+        assert spec.streaming.shard_walks == 64 and spec.streaming.overlap
+        back = RunSpec.from_dict(json.loads(spec.to_json()))
+        assert back == spec
+        assert RunSpec.from_dict({"model": "deepwalk"}).streaming is None
+
+    def test_unknown_streaming_key_rejected(self):
+        from repro.core.spec import RunSpec
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError):
+            RunSpec.from_dict({"streaming": {"shards": 3}})
+
+    def test_run_report_surfaces_peak_bytes(self):
+        from repro.core.runner import run
+
+        report = run(
+            {
+                "graph": {"dataset": "amazon", "scale": 0.05, "seed": 1},
+                "walk": {"num_walks": 1, "walk_length": 8},
+                "train": {"dimensions": 8},
+                "streaming": {"shard_walks": 32},
+            }
+        )
+        assert report.corpus_summary["peak_corpus_bytes"] > 0
+        assert report.corpus_summary["token_count"] > 0
+        assert report.corpus is None
+
+
+class TestStreamingCli:
+    def test_train_stream_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "vec.npz"
+        code = main(
+            [
+                "train", "--dataset", "amazon", "--scale", "0.05", "--seed", "2",
+                "--num-walks", "1", "--walk-length", "8", "--dimensions", "8",
+                "--stream", "--shard-walks", "32", "--overlap",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "streamed" in capsys.readouterr().out
