@@ -14,11 +14,23 @@ target, not absolute seconds.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 from repro.harness.tables import format_table
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)``; returns ``(result, wall_seconds)``.
+
+    The one timing idiom shared by the whole suite, replacing per-module
+    ``perf_counter`` pairs.
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
 
 
 def record_table(name: str, headers, rows, *, title: str | None = None) -> str:

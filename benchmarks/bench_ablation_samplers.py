@@ -18,7 +18,7 @@ from repro.graph import datasets
 from repro.walks.engine import ReferenceWalkEngine
 from repro.walks.vectorized import VectorizedWalkEngine
 
-from _common import record_table, run_once
+from _common import record_table, run_once, timed
 
 SAMPLER_CASES = [
     ("mh", {}),
@@ -49,21 +49,21 @@ def test_per_step_sampler_cost(benchmark, workload, case):
 
 def test_vectorized_vs_reference_throughput(benchmark, workload):
     """The lock-step engine's speedup over the scalar Algorithm 2 loop."""
-    import time
-
     starts = np.arange(200)
 
     def run():
-        t0 = time.perf_counter()
-        ReferenceWalkEngine(workload, "node2vec", sampler="mh", p=0.25, q=4.0, seed=22).generate(
-            num_walks=1, walk_length=20, start_nodes=starts
+        __, scalar_s = timed(
+            ReferenceWalkEngine(
+                workload, "node2vec", sampler="mh", p=0.25, q=4.0, seed=22
+            ).generate,
+            num_walks=1, walk_length=20, start_nodes=starts,
         )
-        scalar_s = time.perf_counter() - t0
-        t1 = time.perf_counter()
-        VectorizedWalkEngine(workload, "node2vec", sampler="mh", p=0.25, q=4.0, seed=22).generate(
-            num_walks=1, walk_length=20, start_nodes=starts
+        __, vector_s = timed(
+            VectorizedWalkEngine(
+                workload, "node2vec", sampler="mh", p=0.25, q=4.0, seed=22
+            ).generate,
+            num_walks=1, walk_length=20, start_nodes=starts,
         )
-        vector_s = time.perf_counter() - t1
         return [
             {"engine": "reference (scalar)", "seconds": scalar_s},
             {"engine": "vectorized", "seconds": vector_s},

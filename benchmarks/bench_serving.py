@@ -1,0 +1,147 @@
+"""Serving read path: batched QueryService vs looped most_similar; IVF dial.
+
+The ROADMAP's "serve heavy traffic" goal in one table: the same 1k-query
+workload answered (a) the pre-serving way — one
+``KeyedVectors.most_similar`` call per key in a Python loop; (b) through
+``QueryService`` with the exact brute-force index — one BLAS pass per
+batch; (c) through the IVF index at several ``nprobe`` settings — the
+recall/throughput dial. Columns report build time, query wall time, QPS,
+speedup over the loop, and recall@10 against the exact loop results.
+
+Expected shape: the batched exact path is >= 10x the loop at the full
+50k x 128 scale (that is the acceptance bar, asserted below); IVF trades
+a little recall for another multiple of throughput, and at
+``nprobe == nlist`` its scan is exhaustive so recall@10 >= 0.9 by
+construction. Vectors are drawn from a Gaussian mixture — trained
+embeddings are clustered, and a clustered geometry is what IVF's coarse
+quantizer exploits.
+
+No pytest-benchmark dependency, so the CI smoke job can run this file at
+toy scale with plain pytest (scale via BENCH_SERVING_SCALE, default 1.0).
+"""
+
+import os
+
+import numpy as np
+
+from repro.embedding import KeyedVectors
+from repro.serving import EmbeddingStore, IVFIndex, QueryService
+
+from _common import record_table, timed
+
+SCALE = float(os.environ.get("BENCH_SERVING_SCALE", "1.0"))
+
+NUM_VECTORS = max(int(50_000 * SCALE), 400)
+DIMENSIONS = 128 if SCALE >= 1.0 else 32
+NUM_QUERIES = max(int(1000 * SCALE), 40)
+NUM_CLUSTERS = max(int(200 * SCALE), 8)
+TOPK = 10
+#: the exhaustive-probe recall check scans every list per query; a
+#: subset keeps that row affordable
+RECALL_QUERIES = min(NUM_QUERIES, 100)
+
+
+def _clustered_vectors(rng) -> np.ndarray:
+    centers = rng.standard_normal((NUM_CLUSTERS, DIMENSIONS))
+    assign = rng.integers(0, NUM_CLUSTERS, NUM_VECTORS)
+    return centers[assign] + 0.4 * rng.standard_normal((NUM_VECTORS, DIMENSIONS))
+
+
+def _recall(reference, got) -> float:
+    hits = sum(
+        len({k for k, __ in ref} & {k for k, __ in res})
+        for ref, res in zip(reference, got)
+    )
+    return hits / (len(reference) * TOPK)
+
+
+def test_serving_throughput_and_recall():
+    rng = np.random.default_rng(7)
+    kv = KeyedVectors(np.arange(NUM_VECTORS), _clustered_vectors(rng))
+    query_keys = rng.choice(NUM_VECTORS, size=NUM_QUERIES, replace=False)
+
+    # (a) the pre-serving path: one python call per key
+    looped, loop_s = timed(
+        lambda: [kv.most_similar(int(k), topn=TOPK) for k in query_keys]
+    )
+
+    store = EmbeddingStore.from_keyed_vectors(kv)
+    rows = []
+
+    def add_row(method, build_s, results, query_s):
+        rows.append(
+            {
+                "method": method,
+                "build_s": round(build_s, 3),
+                "query_s": round(query_s, 3),
+                "qps": round(NUM_QUERIES / max(query_s, 1e-9), 1),
+                "speedup_vs_loop": round(loop_s / max(query_s, 1e-9), 1),
+                "recall@10": round(_recall(looped, results), 3) if results else "",
+            }
+        )
+        return results
+
+    add_row("looped most_similar", 0.0, looped, loop_s)
+
+    # (b) batched exact
+    brute, brute_build_s = timed(QueryService, store, index="bruteforce", cache_size=0)
+    brute_results, brute_s = timed(brute.most_similar_batch, query_keys, TOPK)
+    add_row("QueryService bruteforce", brute_build_s, brute_results, brute_s)
+
+    # (c) IVF at a few nprobe settings
+    nlist = max(1, int(round(np.sqrt(NUM_VECTORS))))
+    ivf_index, ivf_build_s = timed(IVFIndex, store, nlist=nlist, seed=1)
+    for nprobe in sorted({1, 4, 16, nlist} & set(range(1, nlist + 1)) | {1}):
+        ivf_index.nprobe = nprobe
+        service = QueryService(store, index=ivf_index, cache_size=0)
+        results, seconds = timed(service.most_similar_batch, query_keys, TOPK)
+        add_row(f"QueryService ivf nlist={nlist} nprobe={nprobe}", ivf_build_s, results, seconds)
+
+    # exhaustive probe (nprobe == nlist) on a query subset: recall is
+    # exact by construction — the acceptance floor with margin
+    ivf_index.nprobe = nlist
+    subset = query_keys[:RECALL_QUERIES]
+    exhaustive, exhaustive_s = timed(
+        QueryService(store, index=ivf_index, cache_size=0).most_similar_batch, subset, TOPK
+    )
+    exhaustive_recall = _recall(looped[:RECALL_QUERIES], exhaustive)
+    rows.append(
+        {
+            "method": f"QueryService ivf nprobe=nlist ({RECALL_QUERIES} queries)",
+            "build_s": round(ivf_build_s, 3),
+            "query_s": round(exhaustive_s, 3),
+            "qps": round(RECALL_QUERIES / max(exhaustive_s, 1e-9), 1),
+            "speedup_vs_loop": "",
+            "recall@10": round(exhaustive_recall, 3),
+        }
+    )
+
+    record_table(
+        "serving",
+        ["method", "build_s", "query_s", "qps", "speedup_vs_loop", "recall@10"],
+        rows,
+        title=(
+            f"serving {NUM_QUERIES} queries, top-{TOPK} over "
+            f"{NUM_VECTORS} x {DIMENSIONS} embeddings"
+        ),
+    )
+
+    # exact batched path returns the loop's answers (float32 scoring may
+    # flip a near-tie at the bottom of a list, nothing more)
+    assert _recall(looped, brute_results) >= 0.99
+    # batching the exact scan must never lose to the python loop
+    assert loop_s / max(brute_s, 1e-9) > 1.0
+    # the acceptance bar at the real scale: some served configuration is
+    # >= 10x the loop while keeping recall@10 >= 0.9
+    eligible = [
+        row["speedup_vs_loop"]
+        for row in rows
+        if row["method"] != "looped most_similar"
+        and isinstance(row["recall@10"], float)
+        and isinstance(row["speedup_vs_loop"], float)
+        and row["recall@10"] >= 0.9
+    ]
+    if NUM_VECTORS >= 20_000 and NUM_QUERIES >= 1000:
+        assert max(eligible) >= 10.0, f"best eligible speedup {max(eligible):.1f}x < 10x"
+    # IVF with an exhaustive probe is exact, so comfortably over the floor
+    assert exhaustive_recall >= 0.9

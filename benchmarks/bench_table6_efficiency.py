@@ -19,7 +19,6 @@ the UniNet(M-H) corpus and shared across rows — the paper does the
 equivalent by holding the trainer fixed.
 """
 
-import time
 
 import pytest
 
@@ -30,7 +29,7 @@ from repro.graph import datasets
 from repro.legacy import run_legacy_walks
 from repro.walks.models import make_model
 
-from _common import record_table, run_once
+from _common import record_table, run_once, timed
 
 NUM_WALKS, WALK_LENGTH = 4, 40
 
@@ -55,11 +54,11 @@ def _uninet_times(graph, model_name, params, sampler):
 
 
 def _learning_seconds(graph, corpus):
-    start = time.perf_counter()
-    Word2Vec(dimensions=64, epochs=1, negative_sharing=True, seed=2).fit(
-        corpus, num_nodes=graph.num_nodes
+    __, seconds = timed(
+        Word2Vec(dimensions=64, epochs=1, negative_sharing=True, seed=2).fit,
+        corpus, num_nodes=graph.num_nodes,
     )
-    return time.perf_counter() - start
+    return seconds
 
 
 @pytest.mark.parametrize(
@@ -72,12 +71,10 @@ def test_table6_efficiency(benchmark, workload):
 
     def run():
         # open-source baseline
-        t0 = time.perf_counter()
         __, legacy_t = run_legacy_walks(
             graph, model_name, num_walks=NUM_WALKS, walk_length=WALK_LENGTH,
             seed=4, **params,
         )
-        del t0
         # UniNet with the model's original sampler
         __, orig_ti, orig_tw = _uninet_times(graph, model_name, params, orig_sampler)
         # UniNet with the M-H sampler

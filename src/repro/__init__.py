@@ -20,6 +20,10 @@ The public surface mirrors the paper's architecture:
   prediction protocols.
 * :mod:`repro.theory` — the convergence / initialization analysis behind
   Theorems 1-3 and Figure 1.
+* :mod:`repro.serving` — the read path: memory-mapped
+  :class:`~repro.serving.store.EmbeddingStore` files, the pluggable ANN
+  index family (bruteforce / IVF), and the batching
+  :class:`~repro.serving.service.QueryService`.
 * :mod:`repro.registry` — the plugin layer: every component family
   (models, samplers, initializers) is a :class:`~repro.registry.Registry`
   that third-party code extends with ``@register_model`` /
@@ -62,6 +66,10 @@ _LAZY_ATTRS = {
     "RunSpec": ("repro.core.spec", "RunSpec"),
     "GraphSpec": ("repro.core.spec", "GraphSpec"),
     "EvalSpec": ("repro.core.spec", "EvalSpec"),
+    "ServingSpec": ("repro.core.spec", "ServingSpec"),
+    "EmbeddingStore": ("repro.serving.store", "EmbeddingStore"),
+    "QueryService": ("repro.serving.service", "QueryService"),
+    "register_index": ("repro.serving.index", "register_index"),
     "run": ("repro.core.runner", "run"),
     "run_many": ("repro.core.runner", "run_many"),
     "RunReport": ("repro.core.runner", "RunReport"),

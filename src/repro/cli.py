@@ -7,7 +7,11 @@ Covers the common end-to-end flows without writing code:
 * ``train``  — full pipeline (walks + word2vec), saving KeyedVectors;
 * ``classify`` — node-classification sweep on a labeled synthetic dataset;
 * ``run``    — execute a declarative :class:`~repro.core.spec.RunSpec`
-  JSON file (with ``--set`` overrides) and report timings/metrics.
+  JSON file (with ``--set`` overrides) and report timings/metrics;
+* ``export-store`` — convert saved KeyedVectors (.npz) into a
+  memory-mapped :class:`~repro.serving.store.EmbeddingStore` file;
+* ``query``  — batched top-k similarity queries against a store through
+  a registered index (bruteforce/ivf).
 
 Model flags (``--p``, ``--q``, ``--metapath``, ...) are generated from
 each registered model's ``param_spec``, so models registered by plugins
@@ -23,6 +27,9 @@ Examples::
     python -m repro classify --dataset blogcatalog --model deepwalk
     python -m repro run --spec spec.json --set sampler=rejection \
         --set streaming.shard_walks=4096
+    python -m repro export-store --vectors vectors.npz --output vectors.embstore
+    python -m repro query --store vectors.embstore --keys 0 1 2 --topn 5 \
+        --index ivf --nprobe 16
 """
 
 from __future__ import annotations
@@ -237,6 +244,65 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _cmd_export_store(args) -> int:
+    from repro.embedding import KeyedVectors
+    from repro.errors import ReproError
+
+    try:
+        kv = KeyedVectors.load_npz(args.vectors)
+    except (OSError, KeyError, ReproError) as err:
+        print(f"error: cannot load vectors from {args.vectors}: {err}", file=sys.stderr)
+        return 2
+    store = kv.to_store(args.output)
+    print(
+        f"exported {len(store)} x {store.dimensions} embeddings "
+        f"({store.nbytes:,} data bytes) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.errors import ServingError
+    from repro.serving import EmbeddingStore, QueryService
+
+    try:
+        store = EmbeddingStore.open(args.store)
+    except ServingError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    index_params = {}
+    if args.nlist is not None:
+        index_params["nlist"] = args.nlist
+    if args.nprobe is not None:
+        index_params["nprobe"] = args.nprobe
+    try:
+        service = QueryService(store, index=args.index, **index_params)
+        keys = args.keys if args.keys else [int(k) for k in store.keys[: args.batch]]
+        results = service.most_similar_batch(keys, topn=args.topn)
+    except (ServingError, TypeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    rows = [
+        {"query": int(key), "rank": rank + 1, "neighbor": nkey, "cosine": round(score, 4)}
+        for key, result in zip(keys, results)
+        for rank, (nkey, score) in enumerate(result)
+    ]
+    stats = service.stats()
+    print(
+        format_table(
+            ["query", "rank", "neighbor", "cosine"],
+            rows,
+            title=f"top-{args.topn} via {stats['index']} over {args.store}",
+        )
+    )
+    print(
+        f"[{stats['queries']} queries in {stats['seconds']:.4f}s = "
+        f"{stats['qps']:.0f} qps; store {stats['store_count']} x "
+        f"{stats['store_dimensions']}]"
+    )
+    return 0
+
+
 def _parse_override(item: str):
     """Parse a ``--set key=value`` item; values are JSON when possible."""
     key, sep, raw = item.partition("=")
@@ -355,6 +421,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--output", help="also write the full RunReport JSON here")
     run_cmd.set_defaults(func=_cmd_run)
+
+    export = sub.add_parser(
+        "export-store",
+        help="convert saved KeyedVectors (.npz) into a servable mmap store",
+    )
+    export.add_argument("--vectors", required=True, help="KeyedVectors .npz (from train)")
+    export.add_argument("--output", required=True, help="store file to write")
+    export.set_defaults(func=_cmd_export_store)
+
+    query = sub.add_parser(
+        "query", help="batched top-k similarity queries against an embedding store"
+    )
+    query.add_argument("--store", required=True, help="EmbeddingStore file (from export-store)")
+    query.add_argument(
+        "--keys", type=int, nargs="+",
+        help="node ids to query (default: the first --batch keys in the store)",
+    )
+    query.add_argument("--batch", type=int, default=8, help="default query-batch size")
+    query.add_argument("--topn", type=int, default=10)
+    query.add_argument(
+        "--index", default="bruteforce",
+        help="ANN index: bruteforce (exact) or ivf (approximate)",
+    )
+    query.add_argument("--nlist", type=int, default=None, help="ivf: number of cells")
+    query.add_argument("--nprobe", type=int, default=None, help="ivf: cells scanned per query")
+    query.set_defaults(func=_cmd_query)
     return parser
 
 

@@ -150,6 +150,26 @@ def _evaluate(spec: RunSpec, result, labels) -> dict:
     return {"clustering": clustering_experiment(result.embeddings, labels, seed=ev.seed)}
 
 
+def _serve_probe(spec: RunSpec, embeddings) -> dict:
+    """Stand up the spec's serving block and fire one probe batch.
+
+    Returns the :class:`~repro.serving.service.QueryService` counter
+    snapshot (qps, mean batch latency, cache hit rate) — the read-path
+    numbers recorded next to the evaluation metrics.
+    """
+    from repro.serving import QueryService
+
+    sv = spec.serving
+    service = QueryService(
+        embeddings, index=sv.index, cache_size=sv.cache_size, **sv.index_params
+    )
+    probe_keys = np.asarray(service.store.keys)[: min(sv.probe_queries, len(service.store))]
+    service.most_similar_batch(probe_keys, topn=sv.topn)
+    stats = service.stats()
+    stats["topn"] = sv.topn
+    return stats
+
+
 def run(
     spec,
     *,
@@ -195,6 +215,8 @@ def run(
         streaming=spec.streaming,
     )
     metrics = _jsonable(_evaluate(spec, result, labels))
+    if spec.serving is not None:
+        metrics["serving"] = _jsonable(_serve_probe(spec, result.embeddings))
     corpus_summary = {k: int(v) for k, v in result.corpus_summary.items()}
     corpus_summary["peak_corpus_bytes"] = int(result.peak_corpus_bytes)
     return RunReport(

@@ -137,6 +137,42 @@ class EvalSpec:
 
 
 @dataclass
+class ServingSpec:
+    """Query-side serving to stand up after training.
+
+    A serving block makes :func:`repro.core.runner.run` build a
+    :class:`~repro.serving.service.QueryService` over the learned
+    embeddings, fire a probe batch of ``probe_queries`` keys, and record
+    the service's latency/throughput counters under
+    ``report.metrics["serving"]`` — the read-path health check next to
+    the downstream-task metrics.
+    """
+
+    #: registered index name (see :data:`repro.serving.INDEX_REGISTRY`).
+    index: str = "bruteforce"
+    #: forwarded to the index factory (``nlist``, ``nprobe``, ...).
+    index_params: dict = field(default_factory=dict)
+    cache_size: int = 4096
+    topn: int = 10
+    #: keys queried by the probe batch (clamped to the store size).
+    probe_queries: int = 64
+
+    def validate(self) -> "ServingSpec":
+        from repro.serving.index import INDEX_REGISTRY
+
+        self.index = INDEX_REGISTRY.canonical(self.index)
+        if self.topn < 1:
+            raise SpecError("serving.topn must be >= 1")
+        if self.probe_queries < 1:
+            raise SpecError("serving.probe_queries must be >= 1")
+        if self.cache_size < 0:
+            raise SpecError("serving.cache_size must be >= 0")
+        if not isinstance(self.index_params, dict):
+            raise SpecError("serving.index_params must be a mapping")
+        return self
+
+
+@dataclass
 class RunSpec:
     """One declarative UniNet experiment.
 
@@ -146,7 +182,9 @@ class RunSpec:
     stops after walk generation (the setting of the paper's walk-phase
     tables); ``evaluation`` requires ``train`` and a labeled graph. A
     ``streaming`` block runs the bounded-memory shard-streaming pipeline
-    (see :class:`~repro.core.config.StreamingConfig`).
+    (see :class:`~repro.core.config.StreamingConfig`); a ``serving``
+    block stands up the query-side read path after training (see
+    :class:`ServingSpec`).
     """
 
     graph: GraphSpec = field(default_factory=GraphSpec)
@@ -156,6 +194,7 @@ class RunSpec:
     train: TrainConfig | None = field(default_factory=TrainConfig)
     evaluation: EvalSpec | None = None
     streaming: StreamingConfig | None = None
+    serving: ServingSpec | None = None
     seed: int = 0
     name: str = ""
 
@@ -208,6 +247,10 @@ class RunSpec:
             self.evaluation.validate()
             if self.train is None:
                 raise SpecError("evaluation requires a train config")
+        if self.serving is not None:
+            self.serving.validate()
+            if self.train is None:
+                raise SpecError("serving requires a train config")
         return self
 
     # -- (de)serialisation ----------------------------------------------
@@ -223,6 +266,7 @@ class RunSpec:
             "train": None if self.train is None else asdict(self.train),
             "evaluation": None if self.evaluation is None else asdict(self.evaluation),
             "streaming": None if self.streaming is None else asdict(self.streaming),
+            "serving": None if self.serving is None else asdict(self.serving),
         }
 
     @classmethod
@@ -271,6 +315,12 @@ class RunSpec:
             if streaming_data is None
             else _dataclass_from_dict(StreamingConfig, streaming_data, "streaming config")
         )
+        serving_data = data.get("serving")
+        serving = (
+            None
+            if serving_data is None
+            else _dataclass_from_dict(ServingSpec, serving_data, "serving spec")
+        )
         return cls(
             graph=graph,
             model=data.get("model", "deepwalk"),
@@ -279,6 +329,7 @@ class RunSpec:
             train=train,
             evaluation=evaluation,
             streaming=streaming,
+            serving=serving,
             seed=int(data.get("seed", 0)),
             name=str(data.get("name", "")),
         )

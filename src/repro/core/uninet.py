@@ -76,6 +76,10 @@ class UniNet:
         #: stats, memory bytes — engine and corpus stripped) of the most
         #: recent :meth:`generate_walks` call; None before the first call.
         self.last_walk: WalkResult | None = None
+        #: :class:`~repro.embedding.keyed_vectors.KeyedVectors` of the
+        #: most recent :meth:`train` call (what :meth:`serve` serves by
+        #: default); None before the first call.
+        self.last_embeddings = None
 
     # ------------------------------------------------------------------
     def walk_config(self, num_walks: int = 10, walk_length: int = 80, **overrides) -> WalkConfig:
@@ -142,7 +146,7 @@ class UniNet:
             from repro.core.config import StreamingConfig
 
             streaming = StreamingConfig()
-        return train_pipeline(
+        result = train_pipeline(
             self.graph,
             self.model,
             walk_cfg,
@@ -152,6 +156,38 @@ class UniNet:
             start_nodes=start_nodes,
             streaming=streaming,
         )
+        self.last_embeddings = result.embeddings
+        return result
+
+    def serve(
+        self,
+        embeddings=None,
+        *,
+        index: str = "bruteforce",
+        store_path=None,
+        cache_size: int = 4096,
+        **index_params,
+    ):
+        """Stand up a :class:`~repro.serving.service.QueryService`.
+
+        Serves ``embeddings`` (defaults to the most recent
+        :meth:`train` result). With ``store_path`` the embeddings are
+        exported to a memory-mapped
+        :class:`~repro.serving.store.EmbeddingStore` file first — the
+        multi-process deployment shape; without, an in-memory store is
+        built. ``index_params`` go to the chosen index factory
+        (``nlist``, ``nprobe``, ...).
+        """
+        from repro.errors import ServingError
+        from repro.serving import QueryService
+
+        kv = self.last_embeddings if embeddings is None else embeddings
+        if kv is None:
+            raise ServingError(
+                "no embeddings to serve: call train() first or pass embeddings="
+            )
+        store = kv.to_store(store_path)
+        return QueryService(store, index=index, cache_size=cache_size, **index_params)
 
     def __repr__(self) -> str:
         return (

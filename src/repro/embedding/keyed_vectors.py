@@ -7,6 +7,8 @@ feature-matrix view for downstream classifiers.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.errors import VocabularyError
@@ -121,9 +123,44 @@ class KeyedVectors:
 
     @classmethod
     def load_npz(cls, path) -> "KeyedVectors":
-        """Load vectors stored by :meth:`save_npz`."""
-        with np.load(path) as data:
+        """Load vectors stored by :meth:`save_npz`.
+
+        ``numpy.savez_compressed`` appends ``.npz`` when the save path
+        lacks it, so loading accepts the same suffix-less path and finds
+        the file numpy actually wrote.
+        """
+        p = Path(path)
+        if not p.exists():
+            suffixed = p.with_name(p.name + ".npz")
+            if suffixed.exists():
+                p = suffixed
+        with np.load(p) as data:
             return cls(data["keys"], data["vectors"])
+
+    def to_store(self, path=None):
+        """Convert into a servable :class:`~repro.serving.store.EmbeddingStore`.
+
+        With ``path``, the store is written to disk and reopened
+        memory-mapped (the serving artifact); without, an in-memory store
+        is returned.
+        """
+        from repro.serving.store import EmbeddingStore
+
+        store = EmbeddingStore.from_keyed_vectors(self)
+        if path is None:
+            return store
+        store.save(path)
+        return EmbeddingStore.open(path)
+
+    @classmethod
+    def from_store(cls, store_or_path) -> "KeyedVectors":
+        """Materialise a :class:`KeyedVectors` from a store (or its path)."""
+        from repro.serving.store import EmbeddingStore
+
+        store = store_or_path
+        if not isinstance(store, EmbeddingStore):
+            store = EmbeddingStore.open(store_or_path)
+        return store.to_keyed_vectors()
 
     def __repr__(self) -> str:
         return f"KeyedVectors(count={len(self)}, dimensions={self.dimensions})"

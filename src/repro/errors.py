@@ -65,3 +65,7 @@ class EvaluationError(ReproError):
 
 class SpecError(ReproError):
     """Raised for invalid declarative run specifications (RunSpec)."""
+
+
+class ServingError(ReproError):
+    """Raised for invalid embedding-store files or serving-time queries."""

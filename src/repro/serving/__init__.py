@@ -1,0 +1,40 @@
+"""Embedding serving: the read path of the pipeline.
+
+Training (the write path) ends in a :class:`KeyedVectors` blob; this
+package turns that blob into something a fleet of query workers can
+serve:
+
+* :mod:`repro.serving.store` — :class:`EmbeddingStore`, a memory-mapped
+  on-disk artifact (header + keys + float32 matrix + precomputed norms)
+  that opens in O(1) and is shared across processes via the page cache;
+* :mod:`repro.serving.index` — the registry-pluggable index family
+  behind one ``topk(queries, k)`` API: exact :class:`BruteForceIndex`
+  (batched BLAS + argpartition) and approximate :class:`IVFIndex`
+  (k-means coarse quantizer with ``nprobe`` recall/cost dial);
+* :mod:`repro.serving.service` — :class:`QueryService`, the batching
+  front-end with an LRU result cache and latency/throughput counters.
+
+Entry points: ``UniNet.serve()``, a ``serving:`` block in ``RunSpec``,
+and the ``export-store`` / ``query`` CLI verbs.
+"""
+
+from repro.serving.index import (
+    INDEX_REGISTRY,
+    BruteForceIndex,
+    IVFIndex,
+    make_index,
+    register_index,
+)
+from repro.serving.service import LRUCache, QueryService
+from repro.serving.store import EmbeddingStore
+
+__all__ = [
+    "EmbeddingStore",
+    "QueryService",
+    "LRUCache",
+    "BruteForceIndex",
+    "IVFIndex",
+    "INDEX_REGISTRY",
+    "register_index",
+    "make_index",
+]

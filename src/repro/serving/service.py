@@ -1,0 +1,208 @@
+"""The batching query front-end: many keys in, one index pass out.
+
+:class:`QueryService` is the read path's equivalent of the training
+pipeline's facade. It owns an :class:`~repro.serving.store.EmbeddingStore`
+plus one registered index, answers *batches* (the unit production traffic
+arrives in), memoises hot keys in an LRU cache keyed by ``(key, topn)``,
+and keeps latency/throughput counters so a deployment can be observed
+without extra instrumentation::
+
+    service = QueryService(store, index="ivf", nprobe=16)
+    results = service.most_similar_batch([3, 17, 99], topn=10)
+    service.stats()["qps"]
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.index import make_index
+from repro.serving.store import EmbeddingStore
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ServingError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        """The cached value, refreshed as most recent; None when absent."""
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return None
+        return self._data[key]
+
+    def put(self, key, value) -> None:
+        """Insert/refresh ``key``, evicting the oldest entry when full."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class QueryService:
+    """Batched nearest-neighbour queries over one embedding store.
+
+    Parameters
+    ----------
+    store:
+        an :class:`EmbeddingStore` (mmap or in-memory) or a
+        :class:`~repro.embedding.keyed_vectors.KeyedVectors` (converted
+        in-memory).
+    index:
+        registered index name (``"bruteforce"`` default, ``"ivf"``) or a
+        pre-built index instance.
+    cache_size:
+        LRU entries memoised per ``(key, topn)``; ``0`` disables caching.
+    index_params:
+        forwarded to the index factory (``nlist``, ``nprobe``, ...).
+    """
+
+    def __init__(self, store, index="bruteforce", *, cache_size: int = 4096, **index_params):
+        if not isinstance(store, EmbeddingStore):
+            if hasattr(store, "keys") and hasattr(store, "vectors"):
+                store = EmbeddingStore.from_keyed_vectors(store)
+            else:
+                raise ServingError(
+                    f"QueryService needs an EmbeddingStore or KeyedVectors, "
+                    f"got {type(store).__name__}"
+                )
+        self.store = store
+        if isinstance(index, str):
+            self.index_name = index
+            self.index = make_index(index, store, **index_params)
+        else:
+            if index_params:
+                raise ServingError("index_params only apply when index is a registry name")
+            self.index = index
+            self.index_name = getattr(index, "name", type(index).__name__)
+        self.cache = LRUCache(cache_size) if cache_size else None
+        self.counters = {
+            "queries": 0,
+            "batches": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "similarity_pairs": 0,
+            "seconds": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    def _decode(self, own_row: int, rows: np.ndarray, scores: np.ndarray, topn: int):
+        keys = self.store.keys
+        out = []
+        for row, score in zip(rows, scores):
+            if row < 0 or row == own_row:
+                continue
+            out.append((int(keys[row]), float(score)))
+            if len(out) == topn:
+                break
+        return out
+
+    def most_similar_batch(self, keys, topn: int = 10) -> list[list[tuple[int, float]]]:
+        """Top-``topn`` neighbours (key, cosine) for each query key.
+
+        One index pass answers all cache misses; each query's own key is
+        excluded from its result, matching
+        :meth:`KeyedVectors.most_similar`.
+        """
+        if topn < 1:
+            raise ServingError("topn must be >= 1")
+        start = time.perf_counter()
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        results: list = [None] * keys.size
+        miss_positions = []
+        if self.cache is None:
+            miss_positions = list(range(keys.size))
+        else:
+            for i, key in enumerate(keys):
+                hit = self.cache.get((int(key), topn))
+                if hit is None:
+                    miss_positions.append(i)
+                else:
+                    # hand out a fresh list so caller mutation cannot
+                    # poison the cached answer
+                    results[i] = list(hit)
+            self.counters["cache_hits"] += keys.size - len(miss_positions)
+            self.counters["cache_misses"] += len(miss_positions)
+        if miss_positions:
+            miss_keys = keys[miss_positions]
+            rows = self.store.rows_for(miss_keys)
+            # ask for one extra neighbour so dropping the query itself
+            # still leaves topn results
+            top_rows, top_scores = self.index.topk(self.store.vectors[rows], topn + 1)
+            for pos, row, r, s in zip(miss_positions, rows, top_rows, top_scores):
+                result = self._decode(int(row), r, s, topn)
+                results[pos] = result
+                if self.cache is not None:
+                    self.cache.put((int(keys[pos]), topn), tuple(result))
+        self.counters["queries"] += int(keys.size)
+        self.counters["batches"] += 1
+        self.counters["seconds"] += time.perf_counter() - start
+        return results
+
+    def topk_vectors(self, queries, topn: int = 10) -> list[list[tuple[int, float]]]:
+        """Top-``topn`` neighbours for raw query vectors (no exclusion)."""
+        start = time.perf_counter()
+        rows, scores = self.index.topk(queries, topn)
+        keys = self.store.keys
+        out = [
+            [(int(keys[r]), float(s)) for r, s in zip(rr, ss) if r >= 0]
+            for rr, ss in zip(rows, scores)
+        ]
+        self.counters["queries"] += len(out)
+        self.counters["batches"] += 1
+        self.counters["seconds"] += time.perf_counter() - start
+        return out
+
+    def similarity_batch(self, a, b) -> np.ndarray:
+        """Pairwise cosine similarity of aligned key arrays ``a`` and ``b``."""
+        start = time.perf_counter()
+        rows_a = self.store.rows_for(a)
+        rows_b = self.store.rows_for(b)
+        if rows_a.shape != rows_b.shape:
+            raise ServingError("similarity_batch needs aligned key arrays")
+        va = np.asarray(self.store.vectors[rows_a], dtype=np.float32)
+        vb = np.asarray(self.store.vectors[rows_b], dtype=np.float32)
+        denom = np.maximum(
+            np.asarray(self.store.norms[rows_a]) * np.asarray(self.store.norms[rows_b]),
+            np.float32(1e-12),
+        )
+        sims = np.einsum("ij,ij->i", va, vb) / denom
+        self.counters["similarity_pairs"] += int(rows_a.size)
+        self.counters["batches"] += 1
+        self.counters["seconds"] += time.perf_counter() - start
+        return sims.astype(np.float64)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot plus derived throughput/latency numbers."""
+        c = dict(self.counters)
+        seconds = c["seconds"]
+        c["qps"] = (c["queries"] / seconds) if seconds > 0 else 0.0
+        c["mean_batch_ms"] = (1000.0 * seconds / c["batches"]) if c["batches"] else 0.0
+        lookups = c["cache_hits"] + c["cache_misses"]
+        c["cache_hit_rate"] = (c["cache_hits"] / lookups) if lookups else 0.0
+        c["index"] = self.index_name
+        c["store_count"] = len(self.store)
+        c["store_dimensions"] = self.store.dimensions
+        return c
+
+    def reset_stats(self) -> None:
+        """Zero all counters (the cache is kept)."""
+        for key in self.counters:
+            self.counters[key] = 0.0 if key == "seconds" else 0

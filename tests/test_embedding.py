@@ -248,6 +248,42 @@ class TestKeyedVectors:
         assert np.array_equal(back.keys, kv.keys)
         assert np.array_equal(back.vectors, kv.vectors)
 
+    def test_save_load_without_npz_suffix(self, kv, tmp_path):
+        # numpy appends ".npz" to a suffix-less save path; load_npz must
+        # find the file numpy actually wrote
+        path = tmp_path / "vectors"
+        kv.save_npz(path)
+        assert not path.exists() and path.with_suffix(".npz").exists()
+        back = KeyedVectors.load_npz(path)
+        assert np.array_equal(back.keys, kv.keys)
+        assert np.array_equal(back.vectors, kv.vectors)
+
+    def test_load_missing_file_still_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            KeyedVectors.load_npz(tmp_path / "nothing-here")
+
+    def test_most_similar_excludes_query_key(self, kv):
+        for key in (3, 7, 9):
+            result = kv.most_similar(key, topn=10)
+            assert all(other != key for other, __ in result)
+
+    def test_most_similar_topn_exceeds_size(self, kv):
+        # key query: everything except the key itself
+        assert len(kv.most_similar(3, topn=100)) == len(kv) - 1
+        # vector query: everything (no exclusion)
+        assert len(kv.most_similar(np.array([1.0, 0.5]), topn=100)) == len(kv)
+
+    def test_matrix_for_missing_branches(self, kv):
+        with pytest.raises(VocabularyError, match="node 4"):
+            kv.matrix_for([3, 4], missing="error")
+        zeros = kv.matrix_for([4, 9, -1], missing="zeros")
+        assert np.array_equal(zeros[0], [0.0, 0.0])
+        assert np.array_equal(zeros[1], kv[9])
+        assert np.array_equal(zeros[2], [0.0, 0.0])
+
+    def test_matrix_for_empty(self, kv):
+        assert kv.matrix_for([]).shape == (0, 2)
+
     def test_misaligned_rejected(self):
         with pytest.raises(VocabularyError):
             KeyedVectors(np.array([1]), np.zeros((2, 3)))

@@ -1,0 +1,167 @@
+"""Statistical test harness for the samplers (chi-square goodness of fit).
+
+The paper's correctness claim is distributional: M-H walks *converge* to
+the same laws the exact (alias/direct) samplers draw from. Unit tests
+elsewhere check mechanics; this module checks the distributions
+themselves, with fixed seeds (the draws are deterministic, so there is no
+flake risk) and a generous alpha — a test fails only when the sampled
+distribution is decisively wrong, not on ordinary sampling noise. Each
+fit test is paired with a power check that the same statistic *rejects* a
+wrong law, so a vacuously-passing harness cannot go unnoticed.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.graph import generators
+from repro.graph.builder import from_edge_arrays
+from repro.sampling.alias import SecondOrderAliasSampler
+from repro.sampling.metropolis import MetropolisHastingsSampler
+from repro.walks.vectorized import VectorizedWalkEngine
+from repro.walks.models import make_model
+
+#: reject the null only below this p-value. Generous on purpose: the
+#: seeds are fixed, so this guards against decisive mismatches without
+#: tripping on the sampling noise a tighter alpha would flag.
+ALPHA = 1e-4
+
+
+def _irregular_connected_graph(n: int = 24, extra: int = 30, seed: int = 99):
+    """Connected, aperiodic, degree-diverse unweighted test graph.
+
+    A path spine guarantees connectivity, two chords off the head create
+    triangles (aperiodicity), and random extra edges spread the degrees
+    so the degree-proportional law is far from uniform.
+    """
+    rng = np.random.default_rng(seed)
+    src = list(range(n - 1)) + [0, 1]
+    dst = list(range(1, n)) + [2, 3]
+    for a, b in rng.integers(0, n, size=(extra, 2)):
+        if a != b:
+            src.append(int(a))
+            dst.append(int(b))
+    return from_edge_arrays(
+        np.array(src), np.array(dst), None, num_nodes=n, duplicate_policy="first"
+    )
+
+
+def _endpoint_counts(graph, *, num_walks: int, walk_length: int, seed: int) -> np.ndarray:
+    """Visit counts of walk *endpoints* — one ~independent draw per walk."""
+    engine = VectorizedWalkEngine(graph, "deepwalk", sampler="mh", seed=seed)
+    corpus = engine.generate(num_walks=num_walks, walk_length=walk_length)
+    ends = corpus.walks[np.arange(corpus.num_walks), corpus.lengths - 1]
+    return np.bincount(ends, minlength=graph.num_nodes).astype(np.float64)
+
+
+class TestMHStationaryDistribution:
+    """Long M-H walks converge to the degree-proportional stationary law."""
+
+    @pytest.mark.parametrize(
+        "graph_factory, seed",
+        [
+            (lambda: _irregular_connected_graph(), 7),
+            (lambda: generators.barbell_graph(8, 3), 11),
+        ],
+        ids=["irregular", "barbell"],
+    )
+    def test_endpoints_match_degree_distribution(self, graph_factory, seed):
+        graph = graph_factory()
+        obs = _endpoint_counts(graph, num_walks=400, walk_length=60, seed=seed)
+        degrees = graph.degrees().astype(np.float64)
+        expected = degrees / degrees.sum() * obs.sum()
+        assert expected.min() > 5, "chi-square needs >= 5 expected per cell"
+        __, p = stats.chisquare(obs, expected)
+        assert p > ALPHA, f"endpoint distribution rejects degree-proportional (p={p:.2e})"
+
+    def test_thinned_visits_match_degree_distribution(self):
+        graph = _irregular_connected_graph()
+        engine = VectorizedWalkEngine(graph, "deepwalk", sampler="mh", seed=13)
+        corpus = engine.generate(num_walks=400, walk_length=60)
+        # drop a burn-in prefix and thin to tame the walk's autocorrelation
+        visits = corpus.walks[:, 10::7]
+        visits = visits[visits >= 0]
+        obs = np.bincount(visits, minlength=graph.num_nodes).astype(np.float64)
+        degrees = graph.degrees().astype(np.float64)
+        expected = degrees / degrees.sum() * obs.sum()
+        __, p = stats.chisquare(obs, expected)
+        assert p > ALPHA
+        tv = 0.5 * np.abs(obs / obs.sum() - degrees / degrees.sum()).sum()
+        assert tv < 0.02
+
+    def test_power_rejects_uniform(self):
+        """The harness has teeth: the same statistic rejects a wrong law."""
+        graph = _irregular_connected_graph()
+        obs = _endpoint_counts(graph, num_walks=400, walk_length=60, seed=7)
+        uniform = np.full(graph.num_nodes, obs.sum() / graph.num_nodes)
+        __, p = stats.chisquare(obs, uniform)
+        assert p < ALPHA
+
+
+class TestNode2VecTransitionDistribution:
+    """M-H acceptance reproduces the exact per-state transition law.
+
+    For one fixed walker state, repeated M-H draws form a chain whose
+    marginal converges to the normalised dynamic weights — the *same*
+    distribution the per-state alias table samples exactly. Both samplers
+    are compared against the analytic law and against each other.
+    """
+
+    @pytest.fixture
+    def weighted_graph(self):
+        src = np.array([0, 0, 0, 0, 1, 2, 3, 1, 3, 3])
+        dst = np.array([1, 2, 3, 4, 2, 4, 1, 4, 2, 4])
+        w = np.array([1.0, 2.0, 0.5, 3.0, 1.0, 1.0, 2.0, 1.0, 1.0, 1.0])
+        return from_edge_arrays(src, dst, w, num_nodes=5, duplicate_policy="first")
+
+    def _state(self, graph, model, prev: int, current: int):
+        offset = graph.edge_index(prev, current)
+        assert offset >= 0
+        return model.update_state(model.initial_state(prev), offset)
+
+    def _frequencies(self, graph, model, sampler, state, *, draws: int, seed: int):
+        lo, hi = graph.edge_range(state.current)
+        counts = np.zeros(hi - lo)
+        rng = np.random.default_rng(seed)
+        for __ in range(draws):
+            off = sampler.sample(graph, model, state, rng)
+            counts[off - lo] += 1
+        return counts
+
+    @pytest.mark.parametrize("p,q", [(0.25, 4.0), (4.0, 0.25)])
+    def test_mh_matches_alias_frequencies(self, weighted_graph, p, q):
+        graph = weighted_graph
+        model = make_model("node2vec", graph, p=p, q=q)
+        state = self._state(graph, model, prev=1, current=0)
+        weights = model.dynamic_weights_row(graph, state)
+        exact = weights / weights.sum()
+        draws = 60_000
+
+        mh = MetropolisHastingsSampler(graph, model, initializer="random")
+        mh_counts = self._frequencies(graph, model, mh, state, draws=draws, seed=42)
+        alias = SecondOrderAliasSampler(graph, model)
+        alias_counts = self._frequencies(graph, model, alias, state, draws=draws, seed=43)
+
+        # alias draws are iid from the exact law: a clean chi-square fit
+        __, p_alias = stats.chisquare(alias_counts, exact * draws)
+        assert p_alias > ALPHA
+        # M-H draws are a (fast-mixing) chain targeting the same law
+        __, p_mh = stats.chisquare(mh_counts, exact * draws)
+        assert p_mh > ALPHA
+        # and the two samplers agree with each other within tolerance
+        tv = 0.5 * np.abs(mh_counts / draws - alias_counts / draws).sum()
+        assert tv < 0.02
+
+    def test_power_mh_rejects_static_law_when_biased(self, weighted_graph):
+        """With p, q far from 1 the dynamic law differs from the static
+        weights — and the chi-square against the *static* law rejects."""
+        graph = weighted_graph
+        model = make_model("node2vec", graph, p=0.25, q=4.0)
+        state = self._state(graph, model, prev=1, current=0)
+        draws = 60_000
+        mh = MetropolisHastingsSampler(graph, model, initializer="random")
+        counts = self._frequencies(graph, model, mh, state, draws=draws, seed=44)
+        static = graph.neighbor_weights(state.current)
+        static = static / static.sum()
+        __, p_static = stats.chisquare(counts, static * draws)
+        assert p_static < ALPHA
