@@ -67,6 +67,12 @@ _LAZY_ATTRS = {
     "GraphSpec": ("repro.core.spec", "GraphSpec"),
     "EvalSpec": ("repro.core.spec", "EvalSpec"),
     "ServingSpec": ("repro.core.spec", "ServingSpec"),
+    "UpdatesSpec": ("repro.core.spec", "UpdatesSpec"),
+    "UpdateResult": ("repro.core.uninet", "UpdateResult"),
+    "GraphDelta": ("repro.graph.delta", "GraphDelta"),
+    "DynamicGraph": ("repro.graph.delta", "DynamicGraph"),
+    "load_deltas": ("repro.graph.delta", "load_deltas"),
+    "save_deltas": ("repro.graph.delta", "save_deltas"),
     "EmbeddingStore": ("repro.serving.store", "EmbeddingStore"),
     "QueryService": ("repro.serving.service", "QueryService"),
     "register_index": ("repro.serving.index", "register_index"),

@@ -11,7 +11,9 @@ Covers the common end-to-end flows without writing code:
 * ``export-store`` — convert saved KeyedVectors (.npz) into a
   memory-mapped :class:`~repro.serving.store.EmbeddingStore` file;
 * ``query``  — batched top-k similarity queries against a store through
-  a registered index (bruteforce/ivf).
+  a registered index (bruteforce/ivf);
+* ``update`` — train, then replay an edge-delta stream (JSONL/npz) with
+  incremental sampler revalidation and re-embedding per step.
 
 Model flags (``--p``, ``--q``, ``--metapath``, ...) are generated from
 each registered model's ``param_spec``, so models registered by plugins
@@ -30,6 +32,8 @@ Examples::
     python -m repro export-store --vectors vectors.npz --output vectors.embstore
     python -m repro query --store vectors.embstore --keys 0 1 2 --topn 5 \
         --index ivf --nprobe 16
+    python -m repro update --dataset amazon --scale 0.1 --deltas edits.jsonl \
+        --num-walks 4 --walk-length 20 --output vectors.npz
 """
 
 from __future__ import annotations
@@ -303,6 +307,69 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    from repro import UniNet
+    from repro.errors import ReproError
+    from repro.graph.delta import load_deltas
+
+    try:
+        deltas = load_deltas(args.deltas, symmetric=args.symmetric)
+    except (OSError, ReproError) as err:
+        print(f"error: cannot load deltas from {args.deltas}: {err}", file=sys.stderr)
+        return 2
+    if not deltas:
+        print(f"error: {args.deltas} contains no delta records", file=sys.stderr)
+        return 2
+    graph, __ = _load_graph(args)
+    net = UniNet(
+        graph, model=args.model, sampler=args.sampler, initializer=args.initializer,
+        seed=args.seed, **_model_params(args),
+    )
+    result = net.train(
+        num_walks=args.num_walks,
+        walk_length=args.walk_length,
+        dimensions=args.dimensions,
+        epochs=args.epochs,
+        negative_sharing=True,
+    )
+    print(
+        f"initial train: {len(result.embeddings)} x {args.dimensions} embeddings "
+        f"in {result.tt:.2f}s on {graph!r}"
+    )
+    rows = []
+    try:
+        for i, delta in enumerate(deltas):
+            ur = net.update(delta, refresh=args.refresh)
+            row = {
+                "step": i,
+                "added": delta.add_src.size,
+                "removed": delta.remove_src.size,
+                "reweighted": delta.reweight_src.size,
+                "update_ms": round(1000 * ur.seconds, 3),
+                "invalidated": ur.sampler_refresh.get("invalidated_states", 0),
+            }
+            if not args.no_retrain:
+                rr = net.refresh_embeddings(
+                    num_walks=args.update_num_walks, walk_length=args.update_walk_length
+                )
+                row["rewalked"] = rr.corpus_summary.get("num_walks", 0)
+                row["refresh_ms"] = round(1000 * rr.tt, 1)
+            rows.append(row)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(format_table(list(rows[0]), rows, title=f"replayed {len(deltas)} delta(s)"))
+    if not args.no_retrain:
+        net.last_embeddings.save_npz(args.output)
+        print(
+            f"wrote {len(net.last_embeddings)} refreshed embeddings over "
+            f"{net.graph!r} to {args.output}"
+        )
+    else:
+        print(f"graph updated to {net.graph!r}; embeddings left stale (--no-retrain)")
+    return 0
+
+
 def _parse_override(item: str):
     """Parse a ``--set key=value`` item; values are JSON when possible."""
     key, sep, raw = item.partition("=")
@@ -447,6 +514,41 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--nlist", type=int, default=None, help="ivf: number of cells")
     query.add_argument("--nprobe", type=int, default=None, help="ivf: cells scanned per query")
     query.set_defaults(func=_cmd_query)
+
+    update = sub.add_parser(
+        "update",
+        help="train, then replay an edge-delta stream with incremental re-embedding",
+    )
+    _add_graph_args(update)
+    _add_walk_args(update)
+    update.add_argument("--dimensions", type=int, default=64)
+    update.add_argument("--epochs", type=int, default=1)
+    update.add_argument(
+        "--deltas", required=True,
+        help="delta schedule: .jsonl (one record per line) or .npz (one delta)",
+    )
+    update.add_argument(
+        "--symmetric", action="store_true",
+        help="expand each delta edge row to both directed entries",
+    )
+    update.add_argument(
+        "--refresh", choices=["affected", "full", "none"], default="affected",
+        help="sampler revalidation policy per step",
+    )
+    update.add_argument(
+        "--no-retrain", action="store_true",
+        help="apply deltas only; skip the incremental re-embedding passes",
+    )
+    update.add_argument(
+        "--update-num-walks", type=int, default=None, metavar="N",
+        help="walks per affected start node in each refresh (default: --num-walks)",
+    )
+    update.add_argument(
+        "--update-walk-length", type=int, default=None, metavar="L",
+        help="walk length in each refresh (default: --walk-length)",
+    )
+    update.add_argument("--output", default="vectors.npz")
+    update.set_defaults(func=_cmd_update)
     return parser
 
 

@@ -100,6 +100,11 @@ class TrainResult:
     peak_corpus_bytes: int = 0
     #: True when the run streamed shards (``corpus`` is None then).
     streaming: bool = False
+    #: The live :class:`~repro.embedding.word2vec.Word2Vec` trainer
+    #: (vocab + weight matrices) — what makes incremental re-training
+    #: after a graph delta possible (``UniNet.refresh_embeddings`` calls
+    #: its ``partial_fit``). None for walk-only runs.
+    trainer: object | None = field(default=None, repr=False)
 
     @property
     def ti(self) -> float:
@@ -426,6 +431,7 @@ def train_streaming_pipeline(
         corpus_summary=dict(summary),
         peak_corpus_bytes=residency.peak,
         streaming=True,
+        trainer=trainer,
     )
 
 
@@ -474,6 +480,7 @@ def train_pipeline(
     )
 
     embeddings = None
+    trainer = None
     learn_seconds = 0.0
     if not skip_learning:
         t0 = time.perf_counter()
@@ -498,4 +505,5 @@ def train_pipeline(
         },
         peak_corpus_bytes=walked.corpus_bytes,
         streaming=False,
+        trainer=trainer,
     )

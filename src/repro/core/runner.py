@@ -170,6 +170,53 @@ def _serve_probe(spec: RunSpec, embeddings) -> dict:
     return stats
 
 
+def _run_with_updates(spec: RunSpec, graph, model):
+    """Train, then replay the spec's delta schedule through the facade.
+
+    Returns the (possibly refreshed) :class:`TrainResult` plus one
+    metrics row per update step — the per-step sampler revalidation and
+    incremental-retrain costs that ``report.metrics["updates"]`` records.
+    """
+    import dataclasses
+
+    from repro.core.uninet import UniNet
+
+    net = UniNet(
+        graph,
+        model=model,
+        sampler=spec.walk.sampler,
+        initializer=spec.walk.initializer,
+        table_budget_bytes=spec.walk.table_budget_bytes,
+        seed=spec.seed,
+    )
+    result = net.train_from_configs(
+        spec.walk_config(), spec.train or TrainConfig(), streaming=spec.streaming
+    )
+    upd = spec.updates
+    rows = []
+    for i, delta in enumerate(upd.deltas()):
+        ur = net.update(delta, refresh=upd.refresh)
+        row = {
+            "step": i,
+            "added": int(delta.add_src.size),
+            "removed": int(delta.remove_src.size),
+            "reweighted": int(delta.reweight_src.size),
+            "add_nodes": int(delta.add_nodes),
+            "update_s": ur.seconds,
+            "invalidated_states": int(ur.sampler_refresh.get("invalidated_states", 0)),
+            "rebuilt_nodes": int(ur.sampler_refresh.get("rebuilt_nodes", 0)),
+            "rebuild_cost_bytes": int(ur.sampler_refresh.get("rebuild_cost_bytes", 0)),
+        }
+        if upd.retrain:
+            rr = net.refresh_embeddings(
+                num_walks=upd.num_walks, walk_length=upd.walk_length
+            )
+            row["refresh_s"] = rr.tt
+            row["rewalked"] = int(rr.corpus_summary.get("num_walks", 0))
+        rows.append(row)
+    return dataclasses.replace(result, embeddings=net.last_embeddings), rows
+
+
 def run(
     spec,
     *,
@@ -205,16 +252,22 @@ def run(
     from repro.walks.models import make_model
 
     model = make_model(spec.model, graph, **spec.model_params)
-    result = train_pipeline(
-        graph,
-        model,
-        spec.walk_config(),
-        spec.train or TrainConfig(),
-        seed=spec.seed,
-        skip_learning=spec.train is None,
-        streaming=spec.streaming,
-    )
+    update_rows = None
+    if spec.updates is not None:
+        result, update_rows = _run_with_updates(spec, graph, model)
+    else:
+        result = train_pipeline(
+            graph,
+            model,
+            spec.walk_config(),
+            spec.train or TrainConfig(),
+            seed=spec.seed,
+            skip_learning=spec.train is None,
+            streaming=spec.streaming,
+        )
     metrics = _jsonable(_evaluate(spec, result, labels))
+    if update_rows is not None:
+        metrics["updates"] = _jsonable(update_rows)
     if spec.serving is not None:
         metrics["serving"] = _jsonable(_serve_probe(spec, result.embeddings))
     corpus_summary = {k: int(v) for k, v in result.corpus_summary.items()}

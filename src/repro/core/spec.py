@@ -173,6 +173,64 @@ class ServingSpec:
 
 
 @dataclass
+class UpdatesSpec:
+    """A scripted delta schedule replayed after the initial training.
+
+    Each step is a plain delta record (the
+    :meth:`~repro.graph.delta.GraphDelta.from_dict` format: ``add`` /
+    ``remove`` / ``reweight`` / ``add_nodes`` keys), so sweeps can
+    replay recorded edge streams declaratively: the runner applies the
+    steps in order through :meth:`UniNet.update`, optionally refreshing
+    the embeddings incrementally after each step, and records per-step
+    update/refresh costs under ``report.metrics["updates"]``.
+    """
+
+    #: delta records applied in order (see :meth:`GraphDelta.from_dict`).
+    steps: list = field(default_factory=list)
+    #: expand each edge row to both directed entries.
+    symmetric: bool = True
+    #: sampler revalidation policy per step (``affected``/``full``/``none``).
+    refresh: str = "affected"
+    #: incrementally re-train after each step (horizon re-walk +
+    #: ``partial_fit``); final metrics/serving then use fresh embeddings.
+    retrain: bool = True
+    #: re-walk sizing for the incremental pass (defaults to the run's
+    #: walk config).
+    num_walks: int | None = None
+    walk_length: int | None = None
+
+    def __post_init__(self):
+        self.steps = [dict(step) for step in self.steps]
+
+    def validate(self) -> "UpdatesSpec":
+        if self.refresh not in ("affected", "full", "none"):
+            raise SpecError(
+                f"updates.refresh must be 'affected', 'full' or 'none', got {self.refresh!r}"
+            )
+        if self.num_walks is not None and self.num_walks < 1:
+            raise SpecError("updates.num_walks must be >= 1")
+        if self.walk_length is not None and self.walk_length < 1:
+            raise SpecError("updates.walk_length must be >= 1")
+        if not self.steps:
+            raise SpecError("updates.steps must contain at least one delta record")
+        from repro.errors import DeltaError
+
+        try:
+            self.deltas()
+        except DeltaError as err:
+            raise SpecError(f"invalid updates step: {err}") from None
+        return self
+
+    def deltas(self):
+        """Materialise the schedule as :class:`GraphDelta` objects."""
+        from repro.graph.delta import GraphDelta
+
+        return [
+            GraphDelta.from_dict(step, symmetric=self.symmetric) for step in self.steps
+        ]
+
+
+@dataclass
 class RunSpec:
     """One declarative UniNet experiment.
 
@@ -195,6 +253,7 @@ class RunSpec:
     evaluation: EvalSpec | None = None
     streaming: StreamingConfig | None = None
     serving: ServingSpec | None = None
+    updates: UpdatesSpec | None = None
     seed: int = 0
     name: str = ""
 
@@ -251,6 +310,19 @@ class RunSpec:
             self.serving.validate()
             if self.train is None:
                 raise SpecError("serving requires a train config")
+        if self.updates is not None:
+            self.updates.validate()
+            if self.train is None:
+                raise SpecError("updates require a train config")
+            if not self.updates.retrain and (
+                self.evaluation is not None or self.serving is not None
+            ):
+                raise SpecError(
+                    "updates.retrain=false leaves the embeddings stale after "
+                    "the delta schedule; evaluation/serving would silently "
+                    "consume pre-update vectors — enable retrain or drop "
+                    "those blocks"
+                )
         return self
 
     # -- (de)serialisation ----------------------------------------------
@@ -267,6 +339,7 @@ class RunSpec:
             "evaluation": None if self.evaluation is None else asdict(self.evaluation),
             "streaming": None if self.streaming is None else asdict(self.streaming),
             "serving": None if self.serving is None else asdict(self.serving),
+            "updates": None if self.updates is None else asdict(self.updates),
         }
 
     @classmethod
@@ -321,6 +394,12 @@ class RunSpec:
             if serving_data is None
             else _dataclass_from_dict(ServingSpec, serving_data, "serving spec")
         )
+        updates_data = data.get("updates")
+        updates = (
+            None
+            if updates_data is None
+            else _dataclass_from_dict(UpdatesSpec, updates_data, "updates spec")
+        )
         return cls(
             graph=graph,
             model=data.get("model", "deepwalk"),
@@ -330,6 +409,7 @@ class RunSpec:
             evaluation=evaluation,
             streaming=streaming,
             serving=serving,
+            updates=updates,
             seed=int(data.get("seed", 0)),
             name=str(data.get("name", "")),
         )

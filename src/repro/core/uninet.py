@@ -21,11 +21,38 @@ instance as ``model``.
 from __future__ import annotations
 
 import dataclasses
+import time
+
+import numpy as np
 
 from repro.core.config import TrainConfig, WalkConfig
 from repro.core.pipeline import TrainResult, WalkResult, generate_walk_result, train_pipeline
 from repro.utils.rng import as_rng
 from repro.walks.models import make_model
+
+
+@dataclasses.dataclass
+class UpdateResult:
+    """Outcome of one :meth:`UniNet.update` call."""
+
+    #: the applied :class:`~repro.graph.delta.GraphDelta`.
+    delta: object
+    #: the post-delta graph now bound to the facade.
+    graph: object = dataclasses.field(repr=False, default=None)
+    #: the refresh policy that ran (``affected`` / ``full`` / ``none``).
+    refresh: str = "affected"
+    #: sampler revalidation report (``invalidated_states``,
+    #: ``rebuilt_nodes``, ``rebuild_cost_bytes``) — zeros when no
+    #: persistent sampler state existed yet.
+    sampler_refresh: dict = dataclasses.field(default_factory=dict)
+    #: endpoints touched by this delta (plus any new nodes) — the seeds
+    #: of the next incremental re-walk.
+    affected_nodes: object = None
+    #: wall seconds spent applying the delta + revalidating samplers.
+    seconds: float = 0.0
+    #: :class:`~repro.core.pipeline.TrainResult` of the incremental
+    #: retrain when ``retrain=True`` was passed; None otherwise.
+    retrain: TrainResult | None = None
 
 
 class UniNet:
@@ -80,6 +107,15 @@ class UniNet:
         #: most recent :meth:`train` call (what :meth:`serve` serves by
         #: default); None before the first call.
         self.last_embeddings = None
+        # dynamic-graph state: the graph epoch advances on every
+        # update(); embeddings remember the epoch they were trained at,
+        # so serve() can refuse to hand out stale vectors.
+        self._graph_epoch = 0
+        self._embeddings_epoch: int | None = None
+        self._trainer = None
+        self._chain_store = None
+        self._affected: np.ndarray | None = None
+        self._last_train: dict | None = None
 
     # ------------------------------------------------------------------
     def walk_config(self, num_walks: int = 10, walk_length: int = 80, **overrides) -> WalkConfig:
@@ -146,18 +182,250 @@ class UniNet:
             from repro.core.config import StreamingConfig
 
             streaming = StreamingConfig()
+        return self.train_from_configs(
+            walk_cfg, train_cfg, streaming=streaming, start_nodes=start_nodes
+        )
+
+    def train_from_configs(
+        self, walk_config: WalkConfig, train_config: TrainConfig, *, streaming=None, start_nodes=None
+    ) -> TrainResult:
+        """Run the full pipeline from prebuilt config objects.
+
+        The config-level twin of :meth:`train` (used by the declarative
+        runner); keeps the live trainer so the embeddings can later be
+        refreshed incrementally after :meth:`update`.
+        """
         result = train_pipeline(
             self.graph,
             self.model,
-            walk_cfg,
-            train_cfg,
+            walk_config,
+            train_config,
             seed=int(self._rng.integers(2**31)),
             budget=self.budget,
             start_nodes=start_nodes,
             streaming=streaming,
         )
         self.last_embeddings = result.embeddings
+        self._trainer = result.trainer
+        self._embeddings_epoch = self._graph_epoch
+        self._affected = None
+        self._last_train = {
+            "num_walks": walk_config.num_walks,
+            "walk_length": walk_config.walk_length,
+            "walk_config": walk_config,
+        }
         return result
+
+    # ------------------------------------------------------------------
+    # dynamic graphs
+    # ------------------------------------------------------------------
+    def update(self, delta, *, refresh: str = "affected", retrain: bool = False, **retrain_params) -> UpdateResult:
+        """Apply a :class:`~repro.graph.delta.GraphDelta` to the bound graph.
+
+        The graph is merge-rebuilt, the model rebound, and persistent
+        sampler state revalidated per ``refresh``:
+
+        * ``"affected"`` (default) — remap the persistent M-H chain
+          store, invalidating only chains whose resident edge the delta
+          touched (the paper's tableless-update advantage);
+        * ``"full"`` — drop every chain (all re-initialise lazily);
+        * ``"none"`` — spend nothing now; the chain store is discarded
+          and rebuilt fresh on the next walk.
+
+        Embeddings become *stale* after an update — :meth:`serve`
+        refuses them until :meth:`refresh_embeddings` (or a full
+        :meth:`train`) runs; pass ``retrain=True`` to do that here
+        (``retrain_params`` forward to :meth:`refresh_embeddings`).
+        Returns an :class:`UpdateResult`.
+        """
+        from repro.errors import DeltaError
+        from repro.graph.delta import DeltaPlan, GraphDelta
+
+        if refresh not in ("affected", "full", "none"):
+            raise DeltaError(
+                f"refresh must be 'affected', 'full' or 'none', got {refresh!r}"
+            )
+        if isinstance(delta, dict):
+            delta = GraphDelta.from_dict(delta)
+        t0 = time.perf_counter()
+        plan = DeltaPlan.build(self.graph, delta)
+        self.graph = plan.new_graph
+        self.model.rebind(plan.new_graph)
+        self._graph_epoch += 1
+        refresh_info = {"invalidated_states": 0, "rebuilt_nodes": 0, "rebuild_cost_bytes": 0}
+        if self._chain_store is not None:
+            if refresh == "affected":
+                refresh_info = self._chain_store.on_delta(plan, self.model)
+            elif refresh == "full":
+                from repro.walks.manager import ChainStore
+
+                self._chain_store = ChainStore(self.graph, self.model)
+            else:
+                self._chain_store = None
+        new_nodes = np.arange(plan.old_graph.num_nodes, plan.new_graph.num_nodes, dtype=np.int64)
+        affected = np.union1d(delta.touched_endpoints(), new_nodes).astype(np.int64)
+        affected = affected[affected < self.graph.num_nodes]
+        self._affected = (
+            affected if self._affected is None else np.union1d(self._affected, affected)
+        )
+        result = UpdateResult(
+            delta=delta,
+            graph=self.graph,
+            refresh=refresh,
+            sampler_refresh=dict(refresh_info),
+            affected_nodes=affected,
+            seconds=time.perf_counter() - t0,
+        )
+        if retrain:
+            result.retrain = self.refresh_embeddings(**retrain_params)
+        return result
+
+    def affected_start_nodes(self, horizon: int) -> np.ndarray:
+        """Nodes within ``horizon - 1`` hops of edges touched since the
+        last (re)training — the start set whose walks can differ.
+
+        Uses out-neighbour expansion, which equals the true reach set on
+        the symmetric graphs this library stores by convention.
+        """
+        if self._affected is None or self._affected.size == 0:
+            return np.empty(0, dtype=np.int64)
+        from repro.walks._segments import concat_ranges
+
+        reached = np.zeros(self.graph.num_nodes, dtype=bool)
+        frontier = self._affected[self._affected < self.graph.num_nodes]
+        reached[frontier] = True
+        for __ in range(max(horizon - 1, 0)):
+            lo = self.graph.offsets[frontier]
+            deg = self.graph.offsets[frontier + 1] - lo
+            flat, __seg = concat_ranges(lo, deg)
+            if flat.size == 0:
+                break
+            nxt = np.unique(self.graph.targets[flat])
+            nxt = nxt[~reached[nxt]]
+            if nxt.size == 0:
+                break
+            reached[nxt] = True
+            frontier = nxt
+            if reached.all():
+                break
+        return np.flatnonzero(reached)
+
+    def refresh_embeddings(
+        self,
+        num_walks: int | None = None,
+        walk_length: int | None = None,
+        *,
+        start_nodes=None,
+        horizon: int | None = None,
+    ) -> TrainResult:
+        """Incrementally refresh embeddings after :meth:`update`.
+
+        Re-walks only from nodes within the walk-length horizon of the
+        edges touched since the last (re)training (or from
+        ``start_nodes``), feeds the fresh corpus to the *live* trainer
+        via ``partial_fit`` — new nodes enter the vocabulary with fresh
+        rows, every other row continues from its trained state — and
+        returns a :class:`~repro.core.pipeline.TrainResult` for the
+        incremental pass. M-H chain state persists across refreshes
+        through the facade's chain store, so repeated update→refresh
+        cycles pay only the touched-state costs.
+        """
+        from repro.errors import TrainingError
+        from repro.walks.vectorized import VectorizedWalkEngine
+
+        if self._trainer is None:
+            raise TrainingError(
+                "refresh_embeddings needs a prior train() (no live trainer)"
+            )
+        last = self._last_train or {}
+        num_walks = num_walks if num_walks is not None else last.get("num_walks", 10)
+        walk_length = walk_length if walk_length is not None else last.get("walk_length", 80)
+        if start_nodes is None:
+            start_nodes = self.affected_start_nodes(
+                walk_length if horizon is None else horizon
+            )
+        else:
+            start_nodes = np.asarray(start_nodes, dtype=np.int64)
+
+        # new nodes enter the vocabulary before training touches them
+        space = self._trainer.vocab._index_of.size
+        if self.graph.num_nodes > space:
+            estimates = np.zeros(self.graph.num_nodes, dtype=np.int64)
+            degrees = self.graph.degrees()
+            estimates[space:] = degrees[space:] + 1
+            self._trainer.expand_vocab(estimates)
+
+        if start_nodes.size == 0:
+            # nothing within the horizon changed; embeddings are current
+            self._embeddings_epoch = self._graph_epoch
+            self._affected = None
+            return TrainResult(
+                embeddings=self.last_embeddings,
+                corpus=None,
+                timings={"init": 0.0, "walk": 0.0, "learn": 0.0, "total": 0.0},
+                trainer=self._trainer,
+            )
+
+        cfg = self.walk_config(num_walks, walk_length)
+        chain_store = None
+        if cfg.sampler == "mh":
+            if self._chain_store is None:
+                from repro.walks.manager import ChainStore
+
+                self._chain_store = ChainStore(self.graph, self.model)
+            chain_store = self._chain_store
+        wall0 = time.perf_counter()
+        engine = VectorizedWalkEngine(
+            self.graph,
+            self.model,
+            sampler=cfg.sampler,
+            initializer=cfg.initializer,
+            init_sample_cap=cfg.init_sample_cap,
+            burn_in_iterations=cfg.burn_in_iterations,
+            table_budget_bytes=cfg.table_budget_bytes,
+            max_reject_rounds=cfg.max_reject_rounds,
+            chain_store=chain_store,
+            budget=self.budget,
+            seed=int(self._rng.integers(2**31)),
+        )
+        corpus = engine.generate(num_walks, walk_length, start_nodes=start_nodes)
+        walk_seconds = time.perf_counter() - wall0
+        t0 = time.perf_counter()
+        self._trainer.partial_fit(corpus)
+        embeddings = self._trainer.finalize()
+        learn_seconds = time.perf_counter() - t0
+
+        self.last_embeddings = embeddings
+        self._embeddings_epoch = self._graph_epoch
+        self._affected = None
+        stats = engine.stats()
+        ti = stats["setup_seconds"] + stats["init_seconds"]
+        return TrainResult(
+            embeddings=embeddings,
+            corpus=corpus,
+            timings={
+                "init": ti,
+                "walk": max(walk_seconds - ti, 0.0),
+                "learn": learn_seconds,
+                "total": walk_seconds + learn_seconds,
+            },
+            sampler_stats=stats,
+            sampler_memory_bytes=engine.memory_bytes(),
+            corpus_summary={
+                "num_walks": corpus.num_walks,
+                "token_count": corpus.token_count,
+            },
+            peak_corpus_bytes=corpus.nbytes,
+            trainer=self._trainer,
+        )
+
+    @property
+    def embeddings_stale(self) -> bool:
+        """True when :meth:`update` ran after the last (re)training."""
+        return (
+            self._embeddings_epoch is not None
+            and self._embeddings_epoch != self._graph_epoch
+        )
 
     def serve(
         self,
@@ -185,6 +453,14 @@ class UniNet:
         if kv is None:
             raise ServingError(
                 "no embeddings to serve: call train() first or pass embeddings="
+            )
+        if embeddings is None and self.embeddings_stale:
+            raise ServingError(
+                "embeddings are stale: update() changed the graph "
+                f"(epoch {self._graph_epoch}) after training (epoch "
+                f"{self._embeddings_epoch}); call refresh_embeddings() or "
+                "train() first, or pass embeddings= explicitly to serve "
+                "the old vectors anyway"
             )
         store = kv.to_store(store_path)
         return QueryService(store, index=index, cache_size=cache_size, **index_params)

@@ -272,6 +272,51 @@ class Word2Vec:
                 self._pending[0] = (walks.copy(), lengths.copy())
         return trained
 
+    def expand_vocab(self, counts) -> int:
+        """Grow the vocabulary to cover a larger token-id space.
+
+        For incremental training after a graph gained nodes: ``counts``
+        estimates occurrences per token id over the *full new* id space
+        (length >= the old space). Tokens already in the vocabulary keep
+        their trained rows and original counts (so the negative-sampling
+        and subsampling laws stay stable); new ids meeting ``min_count``
+        get fresh randomly-initialised input rows and zero output rows.
+        Returns the number of tokens added.
+        """
+        if self.w_in is None:
+            raise TrainingError("call build_vocab() before expand_vocab()")
+        counts = np.asarray(counts, dtype=np.int64)
+        old_space = self.vocab._index_of.size
+        if counts.size < old_space:
+            raise TrainingError(
+                f"expand_vocab counts cover {counts.size} ids but the "
+                f"vocabulary space is already {old_space}"
+            )
+        merged = counts.copy()
+        # known tokens keep their recorded counts; ids the original
+        # min_count filter dropped stay dropped
+        merged[: old_space] = 0
+        merged[self.vocab.tokens] = self.vocab.counts
+        new_vocab = Vocabulary(merged, min_count=self.min_count)
+        added = new_vocab.size - self.vocab.size
+        if added == 0 and new_vocab.size == self.vocab.size:
+            # nothing new survived min_count; keep the old layout as-is
+            return 0
+        v, d = new_vocab.size, self.dimensions
+        seq = np.random.SeedSequence(entropy=self._block_entropy, spawn_key=(0x5EED, v))
+        rng = np.random.Generator(np.random.PCG64(seq))
+        w_in = ((rng.random((v, d)) - 0.5) / d).astype(np.float32)
+        w_out = np.zeros((v, d), dtype=np.float32)
+        old_rows = self.vocab.encode(self.vocab.tokens)
+        new_rows = new_vocab.encode(self.vocab.tokens)
+        w_in[new_rows] = self.w_in[old_rows]
+        w_out[new_rows] = self.w_out[old_rows]
+        self.vocab = new_vocab
+        self.w_in = w_in
+        self.w_out = w_out
+        self._sampler = NegativeSampler(new_vocab.counts)
+        return int(added)
+
     def finalize(self) -> KeyedVectors:
         """Flush the last partial block and return the embeddings.
 

@@ -22,6 +22,10 @@ class GraphFormatError(GraphError):
     """Raised when a graph file cannot be parsed."""
 
 
+class DeltaError(GraphError):
+    """Raised for invalid graph mutations (malformed or inapplicable deltas)."""
+
+
 class SamplerError(ReproError):
     """Raised for invalid sampler configuration or usage."""
 

@@ -14,6 +14,14 @@ from repro.graph.components import (
     remap_labels,
 )
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import (
+    DeltaPlan,
+    DynamicGraph,
+    GraphDelta,
+    apply_delta,
+    load_deltas,
+    save_deltas,
+)
 from repro.graph.io import (
     load_edge_list,
     load_npz,
@@ -25,6 +33,12 @@ from repro.graph.stats import graph_statistics
 __all__ = [
     "CSRGraph",
     "GraphBuilder",
+    "GraphDelta",
+    "DynamicGraph",
+    "DeltaPlan",
+    "apply_delta",
+    "load_deltas",
+    "save_deltas",
     "load_edge_list",
     "save_edge_list",
     "load_npz",

@@ -98,16 +98,31 @@ class CSRGraph:
             raise GraphError("node_types must have one entry per node")
         if self.edge_types is not None and self.edge_types.shape != self.targets.shape:
             raise GraphError("edge_types must align with targets")
-        # Sorted rows are required for binary-search lookups.
-        if self.targets.size:
-            row_starts = self.offsets[:-1]
-            diffs = np.diff(self.targets)
-            # positions where a new row begins are exempt from ordering
-            boundary = np.zeros(self.targets.size, dtype=bool)
-            boundary[row_starts[row_starts < self.targets.size]] = True
-            interior = ~boundary[1:]
-            if np.any(diffs[interior] < 0):
-                raise GraphError("targets must be sorted within each row")
+        # Sorted rows are required for binary-search lookups: on unsorted
+        # input edge_index would silently miss edges, so reject eagerly.
+        if not self.is_sorted:
+            raise GraphError(
+                "targets must be sorted (ascending) within each row; "
+                "edge_index's binary search silently misses edges otherwise"
+            )
+
+    @property
+    def is_sorted(self) -> bool:
+        """True when every row's targets are in ascending order.
+
+        This is the invariant ``edge_index`` / ``edge_index_batch`` and
+        the delta merge (:meth:`apply_delta`) rely on; the constructor
+        enforces it, so it only reads False for arrays mutated in place.
+        """
+        if not self.targets.size:
+            return True
+        row_starts = self.offsets[:-1]
+        diffs = np.diff(self.targets)
+        # positions where a new row begins are exempt from ordering
+        boundary = np.zeros(self.targets.size, dtype=bool)
+        boundary[row_starts[row_starts < self.targets.size]] = True
+        interior = ~boundary[1:]
+        return not np.any(diffs[interior] < 0)
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -246,6 +261,14 @@ class CSRGraph:
             if arr is not None:
                 total += arr.nbytes
         return total
+
+    def apply_delta(self, delta) -> "CSRGraph":
+        """Rebuilt graph with a :class:`~repro.graph.delta.GraphDelta`
+        applied (vectorized merge of offsets/targets/weights/types; this
+        graph is left untouched)."""
+        from repro.graph.delta import apply_delta
+
+        return apply_delta(self, delta)
 
     def with_node_types(self, node_types, edge_types=None) -> "CSRGraph":
         """Return a copy of this graph with type annotations attached."""

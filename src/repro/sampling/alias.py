@@ -156,6 +156,66 @@ class FirstOrderAliasStore:
             return 0
         return self.threshold.nbytes + self.alias.nbytes
 
+    def on_delta(self, plan) -> dict:
+        """Re-layout the flat tables for a mutated graph.
+
+        Untouched rows are *copied* (their distributions are unchanged —
+        only their global offsets shifted); Vose construction reruns
+        only for rows the delta touched. ``rebuild_cost_bytes`` counts
+        the rebuilt table bytes, the cost a per-node-table sampler pays
+        per update and the M-H sampler does not.
+        """
+        new_graph = plan.new_graph
+        was_uniform = self.uniform
+        old_graph, old_threshold, old_alias = self.graph, self.threshold, self.alias
+        self.graph = new_graph
+        self.uniform = not new_graph.is_weighted
+        if self.uniform:
+            self.threshold = None
+            self.alias = None
+            return {"rebuilt_nodes": 0, "rebuild_cost_bytes": 0, "invalidated_states": 0}
+
+        m = new_graph.num_edge_entries
+        self.threshold = np.ones(m, dtype=np.float64)
+        self.alias = np.arange(m, dtype=np.int64)
+        new_off = new_graph.offsets
+        # a delta's remove_last_nodes can drop touched trailing node ids
+        touched = plan.touched_nodes()
+        touched = touched[touched < new_graph.num_nodes]
+        if was_uniform:
+            # the graph just became weighted: no old tables to reuse
+            rebuild = np.flatnonzero(np.diff(new_off) > 0)
+        else:
+            from repro.walks._segments import concat_ranges
+
+            old_off = old_graph.offsets
+            shared_n = min(old_graph.num_nodes, new_graph.num_nodes)
+            nodes = np.arange(shared_n, dtype=np.int64)
+            untouched = nodes[~np.isin(nodes, touched)]
+            deg = (old_off[untouched + 1] - old_off[untouched]).astype(np.int64)
+            flat_new, seg = concat_ranges(new_off[untouched], deg)
+            if flat_new.size:
+                shift = old_off[untouched] - new_off[untouched]
+                flat_old = flat_new + shift[seg]
+                self.threshold[flat_new] = old_threshold[flat_old]
+                self.alias[flat_new] = old_alias[flat_old] - shift[seg]
+            rebuild = np.union1d(touched, np.arange(shared_n, new_graph.num_nodes))
+        rebuilt = 0
+        cost = 0
+        for v in rebuild:
+            lo, hi = int(new_off[v]), int(new_off[v + 1])
+            if hi == lo:
+                continue
+            rebuilt += 1
+            cost += 16 * (hi - lo)  # one f64 threshold + one i64 alias per slot
+            row = new_graph.weights[lo:hi]
+            if row.sum() <= 0:
+                continue
+            t, a = build_alias_table(row)
+            self.threshold[lo:hi] = t
+            self.alias[lo:hi] = a + lo
+        return {"rebuilt_nodes": rebuilt, "rebuild_cost_bytes": cost, "invalidated_states": 0}
+
 
 class FirstOrderAliasSampler(EdgeSampler):
     """O(1) sampler over *static* weights (deepwalk's exact sampler).
@@ -179,6 +239,9 @@ class FirstOrderAliasSampler(EdgeSampler):
         if off != NO_EDGE:
             self.stats.samples += 1
         return off
+
+    def _refresh(self, plan, model) -> dict:
+        return self.store.on_delta(plan)
 
     @classmethod
     def memory_bytes(cls, graph, model) -> int:
@@ -235,6 +298,55 @@ class SecondOrderAliasSampler(EdgeSampler):
             idx = model.state_index(graph, state)
             if idx not in self._tables:
                 self._tables[idx] = self._build(graph, model, state)
+
+    def _refresh(self, plan, model) -> dict:
+        """Remap cached state keys; drop tables the delta made stale.
+
+        A state's table is stale when the delta touched the row it draws
+        from *or* the row of its predecessor (second-order weights probe
+        the predecessor's adjacency). Dropped tables rebuild lazily on
+        next visit, so the eager cost here is only the key remap.
+        """
+        if model is None:
+            raise SamplerError("alias on_delta needs the rebound model (pass model=)")
+        touched = set(int(t) for t in plan.touched_nodes())
+        old_tables = self._tables
+        self._tables = {}
+        dropped = 0
+        cost = 0
+        if getattr(model, "order", 1) == 1:
+            per = max(
+                int(model.state_space_size(plan.new_graph))
+                // max(plan.new_graph.num_nodes, 1),
+                1,
+            )
+            for idx, table in old_tables.items():
+                if (idx // per) in touched:
+                    dropped += 1
+                    cost += 0 if table is None else 16 * table.size
+                    continue
+                self._tables[idx] = table
+        else:
+            remap = plan.edge_remap()
+            old_sources = plan.old_graph.edge_sources()
+            old_targets = plan.old_graph.targets
+            for idx, table in old_tables.items():
+                new_idx = int(remap[idx]) if 0 <= idx < remap.size else -1
+                stale = (
+                    new_idx < 0
+                    or int(old_sources[idx]) in touched
+                    or int(old_targets[idx]) in touched
+                )
+                if stale:
+                    dropped += 1
+                    cost += 0 if table is None else 16 * table.size
+                    continue
+                self._tables[new_idx] = table
+        return {
+            "rebuilt_nodes": len(touched),
+            "rebuild_cost_bytes": cost,
+            "invalidated_states": dropped,
+        }
 
     @classmethod
     def memory_bytes(cls, graph, model) -> int:

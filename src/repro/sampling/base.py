@@ -21,6 +21,8 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.errors import SamplerError
+
 #: Sentinel returned when a state has no positive-weight out-edge.
 NO_EDGE = -1
 
@@ -105,8 +107,49 @@ class EdgeSampler(abc.ABC):
         """Clear the sampling counters."""
         self.stats.reset()
 
+    # ------------------------------------------------------------------
+    # graph mutation
+    # ------------------------------------------------------------------
+    def on_delta(self, graph, delta=None, *, model=None) -> dict:
+        """Refresh this sampler's persistent state across a graph delta.
+
+        Call as ``on_delta(plan)`` with a prebuilt
+        :class:`~repro.graph.delta.DeltaPlan` (the cheap form when many
+        samplers share one delta) or ``on_delta(old_graph, delta)``.
+        ``model`` must be the walk model *already rebound* to the new
+        graph; samplers without per-state structures ignore it.
+
+        Returns a cost report — ``rebuilt_nodes`` (node-level structures
+        rebuilt), ``rebuild_cost_bytes`` (bytes of structures that had
+        to be reconstructed rather than copied/remapped) and
+        ``invalidated_states`` (per-state entries dropped) — and mirrors
+        it into ``stats.extra`` so benchmarks can quantify the paper's
+        update-cost argument. The base implementation covers samplers
+        with no persistent state (e.g. direct sampling): nothing to do,
+        all-zero report.
+        """
+        plan = resolve_plan(graph, delta)
+        info = self._refresh(plan, model)
+        self.stats.extra.update(info)
+        return info
+
+    def _refresh(self, plan, model) -> dict:
+        """Subclass hook behind :meth:`on_delta`; default is stateless."""
+        return {"rebuilt_nodes": 0, "rebuild_cost_bytes": 0, "invalidated_states": 0}
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def resolve_plan(graph_or_plan, delta=None):
+    """Normalise ``on_delta`` arguments to a DeltaPlan."""
+    from repro.graph.delta import DeltaPlan
+
+    if isinstance(graph_or_plan, DeltaPlan):
+        return graph_or_plan
+    if delta is None:
+        raise SamplerError("on_delta needs a DeltaPlan or (old_graph, delta)")
+    return DeltaPlan.build(graph_or_plan, delta)
 
 
 def draw_from_weights(weights: np.ndarray, rng: np.random.Generator) -> int:

@@ -158,6 +158,57 @@ class EmbeddingStore:
         return self._unit
 
     # ------------------------------------------------------------------
+    # mutation (the dynamic-graph write path)
+    # ------------------------------------------------------------------
+    def upsert(self, keys, vectors) -> dict:
+        """Write/replace embeddings in place; append rows for new keys.
+
+        The read path of a live graph: after an incremental re-embedding
+        the refreshed vectors land here without rewriting the whole
+        store. Known keys have their rows (and norms) overwritten; new
+        keys append. Memory-mapped *read-only* stores refuse — reopen
+        with ``EmbeddingStore.open(path, mmap=False)``, upsert, then
+        :meth:`save` (appending cannot grow a fixed-size mapping).
+
+        Returns ``{"updated": ..., "inserted": ...}``. Indexes built
+        over this store are stale afterwards — refresh the owning
+        :class:`~repro.serving.service.QueryService`.
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.shape != (keys.size, self.dimensions):
+            raise ServingError(
+                f"upsert vectors must be ({keys.size}, {self.dimensions}), "
+                f"got {vectors.shape}"
+            )
+        if keys.size != np.unique(keys).size:
+            raise ServingError("upsert keys must be unique")
+        if isinstance(self.vectors, np.memmap) and not self.vectors.flags.writeable:
+            raise ServingError(
+                "cannot upsert into a read-only memory-mapped store; reopen "
+                "with EmbeddingStore.open(path, mmap=False), upsert, then save()"
+            )
+        table = self._lookup()
+        safe = np.clip(keys, 0, max(table.size - 1, 0))
+        rows = np.where((keys < table.size) & (keys >= 0), table[safe] if table.size else -1, -1)
+        known = rows >= 0
+        norms = np.linalg.norm(vectors, axis=1).astype(np.float32)
+        if known.any():
+            self.vectors[rows[known]] = vectors[known]
+            self.norms[rows[known]] = norms[known]
+        inserted = int((~known).sum())
+        if inserted:
+            self.keys = np.concatenate([np.asarray(self.keys), keys[~known]])
+            self.vectors = np.concatenate([np.asarray(self.vectors), vectors[~known]])
+            self.norms = np.concatenate([np.asarray(self.norms), norms[~known]])
+        # lookup table and unit-matrix cache are now stale
+        self._row_of = None
+        self._unit = None
+        return {"updated": int(known.sum()), "inserted": inserted}
+
+    # ------------------------------------------------------------------
     # conversions
     # ------------------------------------------------------------------
     @classmethod

@@ -24,6 +24,62 @@ from repro.sampling.base import NO_EDGE
 from repro.sampling.memory_model import mh_bytes
 
 
+def _invalidate_touched(vals: np.ndarray, plan) -> np.ndarray:
+    """Remap resident edge offsets across a delta; touched entries → NO_EDGE.
+
+    A chain whose resident edge survived untouched keeps it (remapped to
+    the new global offset); a chain whose resident edge was removed *or
+    reweighted* is invalidated and lazily re-initialised on next visit —
+    exactly the O(touched) revalidation the M-H sampler's tableless
+    design buys under graph mutation.
+    """
+    out = np.full(vals.shape, NO_EDGE, dtype=np.int64)
+    has = vals != NO_EDGE
+    if not has.any():
+        return out
+    resident = vals[has]
+    mapped = plan.remap_offsets(resident)
+    touched = plan.touched_old_offsets()
+    if touched.size:
+        pos = np.searchsorted(touched, resident)
+        hit = (pos < touched.size) & (touched[np.minimum(pos, touched.size - 1)] == resident)
+        mapped[hit] = NO_EDGE
+    out[has] = mapped
+    return out
+
+
+def remap_chain_array(last: np.ndarray, model, plan) -> tuple[np.ndarray, int]:
+    """Carry an M-H chain array (LAST_x per state) across a graph delta.
+
+    ``model`` must already be rebound to ``plan.new_graph`` (its state
+    space sizes the output). First-order state indices are node-stable
+    (new nodes append NO_EDGE slots); second-order indices are edge
+    offsets and follow :meth:`DeltaPlan.edge_remap`. Returns the new
+    chain array and the number of previously-initialised chains that
+    were invalidated (resident edge touched, or defining edge removed).
+    """
+    old_n = plan.old_graph.num_nodes
+    new_size = int(model.state_space_size(plan.new_graph))
+    initialized_before = int((last != NO_EDGE).sum())
+    if getattr(model, "order", 1) == 1:
+        per_node = last.size // max(old_n, 1) if old_n else 1
+        resident = _invalidate_touched(last, plan)
+        rows = resident.reshape(old_n, per_node) if old_n else resident.reshape(0, max(per_node, 1))
+        new_n = new_size // max(per_node, 1) if per_node else plan.new_graph.num_nodes
+        new_last = np.full((new_n, max(per_node, 1)), NO_EDGE, dtype=np.int64)
+        copy_n = min(old_n, new_n)
+        new_last[:copy_n] = rows[:copy_n]
+        new_last = new_last.reshape(-1)[:new_size]
+    else:
+        state_remap = plan.edge_remap()
+        resident = _invalidate_touched(last, plan)
+        new_last = np.full(new_size, NO_EDGE, dtype=np.int64)
+        keep = state_remap >= 0
+        new_last[state_remap[keep]] = resident[keep]
+    invalidated = initialized_before - int((new_last != NO_EDGE).sum())
+    return new_last, invalidated
+
+
 class ChainStore:
     """LAST_x storage for every M-H chain of a (graph, model) pair.
 
@@ -48,6 +104,27 @@ class ChainStore:
     def reset(self) -> None:
         """Forget every chain position."""
         self.last.fill(NO_EDGE)
+
+    def on_delta(self, plan, model=None) -> dict:
+        """Revalidate every chain across a graph delta (in place).
+
+        ``plan`` is a :class:`~repro.graph.delta.DeltaPlan`; ``model``
+        defaults to the bound model, which must already be rebound to
+        ``plan.new_graph``. The array is resized to the new state space
+        and only chains whose resident or defining edge was touched are
+        invalidated; everything else keeps its (remapped) sample.
+        """
+        model = self._model if model is None else model
+        new_last, invalidated = remap_chain_array(self.last, model, plan)
+        self.last = new_last
+        self.size = new_last.size
+        self._graph = plan.new_graph
+        self._model = model
+        return {
+            "invalidated_states": invalidated,
+            "rebuilt_nodes": 0,
+            "rebuild_cost_bytes": 0,
+        }
 
     def memory_bytes(self) -> int:
         """Resident bytes — the O(#state) footprint of Section III-A."""

@@ -54,6 +54,19 @@ class RandomWalkModel(abc.ABC):
             raise ModelError(f"{self.name} requires a typed (heterogeneous) graph")
         self.graph = graph
 
+    def rebind(self, graph) -> "RandomWalkModel":
+        """Rebind this model to a (mutated) graph in place; returns self.
+
+        Called by the dynamic-graph machinery after a delta is applied.
+        The base implementation swaps the graph reference; models that
+        precompute graph-derived tables (e.g. fairwalk's per-node type
+        counts) override to refresh them.
+        """
+        if self.requires_node_types and not graph.is_heterogeneous:
+            raise ModelError(f"{self.name} requires a typed (heterogeneous) graph")
+        self.graph = graph
+        return self
+
     # ------------------------------------------------------------------
     # the unified abstraction (user-facing, paper Fig. 3)
     # ------------------------------------------------------------------

@@ -50,6 +50,17 @@ class Edge2Vec(RandomWalkModel):
                 raise ModelError("transition_matrix entries must be finite and >= 0")
         self.transition_matrix = matrix
 
+    def rebind(self, graph) -> "Edge2Vec":
+        super().rebind(graph)
+        if graph.edge_types is None:
+            raise ModelError("edge2vec requires a graph with edge types")
+        if graph.num_edge_types > self.transition_matrix.shape[0]:
+            raise ModelError(
+                f"graph now has {graph.num_edge_types} edge types but the "
+                f"transition matrix covers {self.transition_matrix.shape[0]}"
+            )
+        return self
+
     def calculate_weight(self, state, edge_offset: int) -> float:
         w = float(self.graph.edge_weight_at(edge_offset))
         s = state.previous

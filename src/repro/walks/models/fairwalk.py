@@ -36,6 +36,9 @@ class FairWalk(RandomWalkModel):
             raise ModelError(f"fairwalk needs p > 0 and q > 0, got p={p}, q={q}")
         self.p = float(p)
         self.q = float(q)
+        self._recount(graph)
+
+    def _recount(self, graph) -> None:
         # type_counts[v, t] = |{u in N(v) : Φ(u) = t}|
         num_types = graph.num_node_types
         src = graph.edge_sources()
@@ -43,6 +46,13 @@ class FairWalk(RandomWalkModel):
         flat = src * num_types + dst_types
         counts = np.bincount(flat, minlength=graph.num_nodes * num_types)
         self.type_counts = counts.reshape(graph.num_nodes, num_types).astype(np.float64)
+
+    def rebind(self, graph) -> "FairWalk":
+        # the per-(node, type) neighbour counts are a function of the
+        # adjacency; refresh them for the mutated graph
+        super().rebind(graph)
+        self._recount(graph)
+        return self
 
     def calculate_weight(self, state, edge_offset: int) -> float:
         w = float(self.graph.edge_weight_at(edge_offset))

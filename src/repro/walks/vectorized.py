@@ -77,6 +77,11 @@ class StepperBase:
         self.accepts = 0
         self.initializations = 0
         self.init_seconds = 0.0
+        # graph-mutation counters (accrued by on_delta)
+        self.rebuilt_nodes = 0
+        self.rebuild_cost_bytes = 0
+        self.invalidated_states = 0
+        self.delta_seconds = 0.0
 
     # helpers ----------------------------------------------------------
     def _rows(self, cur):
@@ -100,6 +105,39 @@ class StepperBase:
         """Resident bytes of the stepper's persistent structures."""
         return 0
 
+    def on_delta(self, plan) -> dict:
+        """Refresh persistent sampler state across an applied graph delta.
+
+        ``plan`` is a :class:`~repro.graph.delta.DeltaPlan`; the model
+        must already be rebound to ``plan.new_graph`` (the engine's
+        :meth:`VectorizedWalkEngine.apply_delta` guarantees the order).
+        Returns and accrues the refresh cost report
+        (``rebuilt_nodes`` / ``rebuild_cost_bytes`` /
+        ``invalidated_states``) that :meth:`stats` exposes.
+        """
+        t0 = time.perf_counter()
+        info = self._refresh(plan)
+        self.graph = plan.new_graph
+        self.rebuilt_nodes += int(info.get("rebuilt_nodes", 0))
+        self.rebuild_cost_bytes += int(info.get("rebuild_cost_bytes", 0))
+        self.invalidated_states += int(info.get("invalidated_states", 0))
+        self.delta_seconds += time.perf_counter() - t0
+        return info
+
+    def _refresh(self, plan) -> dict:
+        """Subclass hook behind :meth:`on_delta`.
+
+        The default only suits steppers with no persistent structures;
+        stateful third-party steppers must override (or be rebuilt) —
+        going stale silently would corrupt walks, so this raises.
+        """
+        if self.memory_bytes() > 0:
+            raise WalkError(
+                f"sampler {self.name!r} holds persistent state but implements "
+                "no _refresh(plan); rebuild the engine after graph mutations"
+            )
+        return {"rebuilt_nodes": 0, "rebuild_cost_bytes": 0, "invalidated_states": 0}
+
     def stats(self) -> dict:
         """Counter snapshot (basis of the acceptance-ratio tables)."""
         return {
@@ -109,6 +147,10 @@ class StepperBase:
             "initializations": self.initializations,
             "init_seconds": self.init_seconds,
             "acceptance_ratio": (self.samples / self.proposals) if self.proposals else 1.0,
+            "rebuilt_nodes": self.rebuilt_nodes,
+            "rebuild_cost_bytes": self.rebuild_cost_bytes,
+            "invalidated_states": self.invalidated_states,
+            "delta_seconds": self.delta_seconds,
         }
 
 
@@ -149,6 +191,9 @@ class _FirstOrderAliasStepper(StepperBase):
         self.samples += int((out != NO_EDGE).sum())
         return out
 
+    def _refresh(self, plan) -> dict:
+        return self.store.on_delta(plan)
+
     def memory_bytes(self) -> int:
         return self.store.memory_bytes()
 
@@ -165,12 +210,20 @@ class EagerStateAliasTables:
 
     def __init__(self, graph, model, state_mask=None):
         self.graph = graph
-        contexts = model.enumerate_state_contexts(graph)
-        table_deg = model.state_table_degrees(graph).astype(np.int64).copy()
+        self._layout(model, state_mask)
+        self._build_states(model, np.flatnonzero(self._valid))
+        self._contexts = None  # transient build scaffolding, not a table
+
+    def _layout(self, model, state_mask) -> None:
+        """Size the flat slot arrays for the current graph."""
+        contexts = model.enumerate_state_contexts(self.graph)
+        table_deg = model.state_table_degrees(self.graph).astype(np.int64).copy()
         valid = contexts["valid"].copy()
         if state_mask is not None:
             valid &= state_mask
         table_deg[~valid] = 0
+        self._contexts = contexts
+        self._valid = valid
         self.table_deg = table_deg
         self.base = np.concatenate(([0], np.cumsum(table_deg)))
         total = int(self.base[-1])
@@ -178,22 +231,25 @@ class EagerStateAliasTables:
         self.alias_local = np.zeros(total, dtype=np.int64)
         self.has_table = np.zeros(valid.size, dtype=bool)
 
-        valid_idx = np.flatnonzero(valid)
-        if valid_idx.size == 0:
-            return
-        cur = contexts["cur"][valid_idx]
-        row_lo = graph.offsets[cur]
-        deg = table_deg[valid_idx]
+    def _build_states(self, model, build_idx: np.ndarray) -> int:
+        """Vose-construct the tables of the given states; returns count."""
+        if build_idx.size == 0:
+            return 0
+        contexts = self._contexts
+        cur = contexts["cur"][build_idx]
+        row_lo = self.graph.offsets[cur]
+        deg = self.table_deg[build_idx]
         flat_offs, seg = concat_ranges(row_lo, deg)
         weights = model.batch_dynamic_weight(
-            contexts["prev"][valid_idx][seg],
-            contexts["prev_off"][valid_idx][seg],
+            contexts["prev"][build_idx][seg],
+            contexts["prev_off"][build_idx][seg],
             cur[seg],
-            contexts["step"][valid_idx][seg],
+            contexts["step"][build_idx][seg],
             flat_offs,
         )
+        built = 0
         cursor = 0
-        for j, idx in enumerate(valid_idx):
+        for j, idx in enumerate(build_idx):
             d = int(deg[j])
             row_w = weights[cursor : cursor + d]
             cursor += d
@@ -204,6 +260,70 @@ class EagerStateAliasTables:
             self.threshold[b : b + d] = t
             self.alias_local[b : b + d] = a
             self.has_table[idx] = True
+            built += 1
+        return built
+
+    def on_delta(self, plan, model, state_mask=None) -> dict:
+        """Re-layout for a mutated graph, rebuilding only affected states.
+
+        A state is affected when the delta touched the out-row it draws
+        from or (for second-order models) its predecessor's row; every
+        other surviving state's table is byte-copied into the new layout
+        (``alias_local`` is row-local, so copied tables need no
+        rebasing). ``model`` must already be rebound to the new graph.
+        """
+        old_graph = self.graph
+        old_base, old_thresh = self.base, self.threshold
+        old_alias, old_has, old_deg = self.alias_local, self.has_table, self.table_deg
+        order = getattr(model, "order", 1)
+        self.graph = plan.new_graph
+        self._layout(model, state_mask)
+
+        # old flat index of each new state (-1 for states with no ancestor)
+        if order == 1:
+            per = max(self._valid.size // max(plan.new_graph.num_nodes, 1), 1)
+            idx = np.arange(self._valid.size, dtype=np.int64)
+            old_of_new = np.where(idx // per < plan.old_graph.num_nodes, idx, -1)
+            old_of_new[old_of_new >= old_has.size] = -1
+        else:
+            remap = plan.edge_remap()
+            old_of_new = np.full(self._valid.size, -1, dtype=np.int64)
+            kept = remap >= 0
+            old_of_new[remap[kept]] = np.flatnonzero(kept)
+
+        touched = plan.touched_nodes()
+        tmask = np.zeros(plan.new_graph.num_nodes, dtype=bool)
+        tmask[touched[touched < plan.new_graph.num_nodes]] = True
+        cur = self._contexts["cur"]
+        affected = tmask[cur]
+        if order == 2:
+            prev = self._contexts["prev"]
+            affected |= (prev >= 0) & tmask[np.maximum(prev, 0)]
+
+        cand = np.flatnonzero((old_of_new >= 0) & ~affected & self._valid)
+        old_pos = old_of_new[cand]
+        same = old_deg[old_pos] == self.table_deg[cand]
+        new_pos, old_pos = cand[same], old_pos[same]
+        copy_mask = np.zeros(self._valid.size, dtype=bool)
+        copy_mask[new_pos] = True
+        if new_pos.size:
+            deg = self.table_deg[new_pos]
+            flat_new, seg = concat_ranges(self.base[new_pos], deg)
+            flat_old = old_base[old_pos][seg] + (flat_new - self.base[new_pos][seg])
+            self.threshold[flat_new] = old_thresh[flat_old]
+            self.alias_local[flat_new] = old_alias[flat_old]
+            self.has_table[new_pos] = old_has[old_pos]
+        rebuild_idx = np.flatnonzero(self._valid & ~copy_mask)
+        built = self._build_states(model, rebuild_idx)
+        copied = int(old_has[old_pos].sum()) if new_pos.size else 0
+        info = {
+            "rebuilt_nodes": int(np.unique(cur[rebuild_idx]).size),
+            "rebuild_cost_bytes": int(16 * self.table_deg[rebuild_idx].sum()),
+            "invalidated_states": int(old_has.sum()) - copied,
+            "rebuilt_states": built,
+        }
+        self._contexts = None
+        return info
 
     @property
     def num_tables(self) -> int:
@@ -245,6 +365,11 @@ class _StateAliasStepper(StepperBase):
         self.samples += int((out != NO_EDGE).sum())
         return out
 
+    def _refresh(self, plan) -> dict:
+        info = self.tables.on_delta(plan, self.model)
+        self.initializations += int(info.get("rebuilt_states", 0))
+        return info
+
     def memory_bytes(self) -> int:
         return self.tables.memory_bytes()
 
@@ -268,11 +393,31 @@ class _MemoryAwareStepper(StepperBase):
         super().__init__(graph, model)
         if budget is not None:
             budget.charge(int(table_budget_bytes), self.name)
+        self.table_budget_bytes = int(table_budget_bytes)
         self.assigned = assign_states_greedily(graph, model, table_budget_bytes)
         self.tables = EagerStateAliasTables(graph, model, state_mask=self.assigned)
         self.initializations += self.tables.num_tables
         self.proposal = FirstOrderAliasStore(graph)
         self.max_rounds = max_rounds
+
+    def _refresh(self, plan) -> dict:
+        # the greedy assignment is a global function of the degree
+        # distribution, so mutation triggers a full reassign + rebuild —
+        # the honest per-update price of this baseline
+        dropped = self.tables.num_tables
+        self.assigned = assign_states_greedily(
+            plan.new_graph, self.model, self.table_budget_bytes
+        )
+        self.tables = EagerStateAliasTables(
+            plan.new_graph, self.model, state_mask=self.assigned
+        )
+        self.initializations += self.tables.num_tables
+        self.proposal = FirstOrderAliasStore(plan.new_graph)
+        return {
+            "rebuilt_nodes": plan.new_graph.num_nodes,
+            "rebuild_cost_bytes": self.tables.memory_bytes() + self.proposal.memory_bytes(),
+            "invalidated_states": dropped,
+        }
 
     def step(self, prev, prev_off, cur, step, rng):
         idx = self.model.batch_state_index(prev_off, cur, step)
@@ -387,6 +532,30 @@ class _RejectionStepper(StepperBase):
             accept = (off >= 0) & (rng.random(bulk_pending.size) * bulk * w_static < clipped)
             out[bulk_pending[accept]] = off[accept]
             pending = bulk_pending[~accept]
+
+    def _refresh(self, plan) -> dict:
+        info = self.proposal.on_delta(plan)
+        if self.fold:
+            # row weight sums change only for touched rows
+            new_graph = plan.new_graph
+            totals = np.zeros(new_graph.num_nodes, dtype=np.float64)
+            shared = min(totals.size, self.row_totals.size)
+            totals[:shared] = self.row_totals[:shared]
+            stale = np.union1d(
+                plan.touched_nodes(),
+                np.arange(plan.old_graph.num_nodes, new_graph.num_nodes),
+            )
+            for v in stale:
+                if v >= new_graph.num_nodes:
+                    continue
+                lo, hi = new_graph.edge_range(int(v))
+                totals[v] = (
+                    float(np.asarray(new_graph.edge_weight_at(np.arange(lo, hi))).sum())
+                    if hi > lo
+                    else 0.0
+                )
+            self.row_totals = totals
+        return info
 
     def memory_bytes(self) -> int:
         return self.proposal.memory_bytes()
@@ -563,6 +732,10 @@ class _MHStepper(StepperBase):
             )
             good = nonempty & (best_w > 0.0)
         return np.where(good, flat_best, NO_EDGE)
+
+    def _refresh(self, plan) -> dict:
+        # no tables: the whole refresh is one vectorized remap of LAST_x
+        return self.chains.on_delta(plan, self.model)
 
     def memory_bytes(self) -> int:
         return self.chains.memory_bytes()
@@ -837,6 +1010,33 @@ class VectorizedWalkEngine:
         return np.where(pos >= 0, lo + pos, NO_EDGE)
 
     # ------------------------------------------------------------------
+    def apply_delta(self, delta):
+        """Mutate the engine's graph and refresh sampler state in place.
+
+        ``delta`` is a :class:`~repro.graph.delta.GraphDelta` (applied
+        here) or a prebuilt :class:`~repro.graph.delta.DeltaPlan` whose
+        ``old_graph`` is this engine's current graph. The model is
+        rebound first, then the stepper revalidates only what the delta
+        touched — M-H remaps its chain array; table-based samplers
+        rebuild affected tables (costs visible in ``stats()`` under
+        ``rebuilt_nodes`` / ``rebuild_cost_bytes`` /
+        ``invalidated_states`` / ``delta_seconds``). Returns the new
+        graph.
+        """
+        from repro.graph.delta import DeltaPlan
+
+        if isinstance(delta, DeltaPlan):
+            plan = delta
+            if plan.old_graph is not self.graph:
+                raise WalkError("DeltaPlan.old_graph is not this engine's graph")
+        else:
+            plan = DeltaPlan.build(self.graph, delta)
+        self.model.rebind(plan.new_graph)
+        self.graph = plan.new_graph
+        self.stepper.model = self.model
+        self.stepper.on_delta(plan)
+        return plan.new_graph
+
     def stats(self) -> dict:
         """Sampler counters plus engine setup time."""
         out = self.stepper.stats()

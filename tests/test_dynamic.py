@@ -1,0 +1,746 @@
+"""Dynamic-graph API tests: GraphDelta, DynamicGraph, sampler on_delta,
+UniNet.update / refresh_embeddings, and the serving write path.
+
+The property-style tests are randomized with fixed seeds (hypothesis
+style without the dependency): every case is deterministic, and failures
+print the seed that produced them.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import DeltaError, ServingError, TrainingError
+from repro.graph import CSRGraph, DynamicGraph, GraphDelta, apply_delta, load_deltas, save_deltas
+from repro.graph.builder import from_edge_arrays
+from repro.graph.delta import DeltaPlan
+from repro.graph.generators import erdos_renyi
+from repro.walks.models import make_model
+from repro.walks.vectorized import VectorizedWalkEngine
+
+
+def graphs_equal(a: CSRGraph, b: CSRGraph) -> bool:
+    """Bitwise CSR equality, None-aware for the optional arrays."""
+    if not (np.array_equal(a.offsets, b.offsets) and np.array_equal(a.targets, b.targets)):
+        return False
+    for x, y in ((a.weights, b.weights), (a.node_types, b.node_types), (a.edge_types, b.edge_types)):
+        if (x is None) != (y is None):
+            return False
+        if x is not None and not np.array_equal(x, y):
+            return False
+    return True
+
+
+def random_graph(seed: int, n: int = 30, weighted: bool = True) -> CSRGraph:
+    """Connected-ish random test graph; weights avoid exactly 1.0."""
+    rng = np.random.default_rng(seed)
+    src = list(range(n - 1))
+    dst = list(range(1, n))
+    for a, b in rng.integers(0, n, size=(2 * n, 2)):
+        if a != b:
+            src.append(int(a))
+            dst.append(int(b))
+    w = rng.uniform(0.5, 2.0, size=len(src)) if weighted else None
+    return from_edge_arrays(
+        np.array(src), np.array(dst), w, num_nodes=n, duplicate_policy="first"
+    )
+
+
+def random_delta(graph: CSRGraph, rng, *, add_nodes: int = 0) -> GraphDelta:
+    """A random valid delta: removes, reweights, and absent-pair adds."""
+    m = graph.num_edge_entries
+    n = graph.num_nodes
+    src_all = graph.edge_sources()
+    k = max(1, m // 10)
+    picks = rng.choice(m, size=min(2 * k, m), replace=False)
+    rem, rw = picks[:k], picks[k:]
+    add_src, add_dst = [], []
+    seen = set()
+    for __ in range(3 * k):
+        u, v = int(rng.integers(0, n + add_nodes)), int(rng.integers(0, n))
+        if u == v or (u, v) in seen:
+            continue
+        if u < n and graph.has_edge(u, v):
+            continue
+        seen.add((u, v))
+        add_src.append(u)
+        add_dst.append(v)
+        if len(add_src) == k:
+            break
+    return GraphDelta(
+        add_src=add_src,
+        add_dst=add_dst,
+        add_weights=rng.uniform(0.5, 2.0, size=len(add_src)),
+        remove_src=src_all[rem],
+        remove_dst=graph.targets[rem],
+        reweight_src=src_all[rw],
+        reweight_dst=graph.targets[rw],
+        reweight_weights=rng.uniform(0.5, 2.0, size=rw.size),
+        add_nodes=add_nodes,
+    )
+
+
+# ----------------------------------------------------------------------
+# GraphDelta validation and algebra
+# ----------------------------------------------------------------------
+class TestGraphDeltaValidation:
+    def test_misaligned_arrays_raise(self):
+        with pytest.raises(DeltaError, match="align"):
+            GraphDelta(add_src=[0, 1], add_dst=[2])
+        with pytest.raises(DeltaError, match="align"):
+            GraphDelta(reweight_src=[0], reweight_dst=[1], reweight_weights=[1.0, 2.0])
+
+    def test_duplicate_pairs_raise(self):
+        with pytest.raises(DeltaError, match="duplicate"):
+            GraphDelta(add_src=[0, 0], add_dst=[1, 1])
+
+    def test_overlapping_ops_raise(self):
+        with pytest.raises(DeltaError, match="overlap"):
+            GraphDelta(add_src=[0], add_dst=[1], remove_src=[0], remove_dst=[1])
+        with pytest.raises(DeltaError, match="overlap"):
+            GraphDelta(
+                remove_src=[0], remove_dst=[1],
+                reweight_src=[0], reweight_dst=[1], reweight_weights=[2.0],
+            )
+
+    def test_bad_weights_raise(self):
+        with pytest.raises(DeltaError, match="finite"):
+            GraphDelta(add_src=[0], add_dst=[1], add_weights=[-1.0])
+        with pytest.raises(DeltaError, match="finite"):
+            GraphDelta(add_src=[0], add_dst=[1], add_weights=[np.inf])
+
+    def test_symmetric_self_loop_raises(self):
+        with pytest.raises(DeltaError, match="self-loop"):
+            GraphDelta.add_edges([3], [3])
+
+    def test_node_type_shape_enforced(self):
+        with pytest.raises(DeltaError, match="one entry per added node"):
+            GraphDelta(add_nodes=2, add_node_types=[0])
+
+    def test_apply_missing_remove_raises(self):
+        g = random_graph(0)
+        missing = GraphDelta(remove_src=[0], remove_dst=[0])
+        with pytest.raises(DeltaError, match="not present"):
+            g.apply_delta(missing)
+
+    def test_apply_existing_add_raises(self):
+        g = random_graph(0)
+        s, d = int(g.edge_sources()[0]), int(g.targets[0])
+        with pytest.raises(DeltaError, match="already present"):
+            g.apply_delta(GraphDelta(add_src=[s], add_dst=[d]))
+
+    def test_apply_out_of_range_raises(self):
+        g = random_graph(0)
+        with pytest.raises(DeltaError, match="outside"):
+            g.apply_delta(GraphDelta(add_src=[g.num_nodes + 5], add_dst=[0]))
+
+    def test_remove_last_nodes_requires_isolated(self):
+        g = random_graph(0)
+        with pytest.raises(DeltaError, match="still carry edges"):
+            g.apply_delta(GraphDelta(remove_last_nodes=1))
+
+
+class TestApplyDelta:
+    def test_add_remove_reweight_semantics(self):
+        g = from_edge_arrays([0, 1, 2], [1, 2, 3], [2.0, 3.0, 4.0], num_nodes=5)
+        delta = GraphDelta(
+            add_src=[0], add_dst=[3], add_weights=[1.5],
+            remove_src=[1], remove_dst=[2],
+            reweight_src=[2], reweight_dst=[3], reweight_weights=[9.0],
+        )
+        g2 = g.apply_delta(delta)
+        assert g2.has_edge(0, 3) and not g2.has_edge(1, 2)
+        assert g2.weights[g2.edge_index(0, 3)] == 1.5
+        assert g2.weights[g2.edge_index(2, 3)] == 9.0
+        assert g2.has_edge(2, 1)  # the reverse entry survives
+        # the original graph is untouched
+        assert g.has_edge(1, 2) and not g.has_edge(0, 3)
+
+    def test_matches_cold_rebuild(self):
+        for seed in range(6):
+            g = random_graph(seed, weighted=seed % 2 == 0)
+            rng = np.random.default_rng(seed + 100)
+            delta = random_delta(g, rng, add_nodes=seed % 3)
+            g2 = g.apply_delta(delta)
+            # rebuild cold from the resulting edge list
+            src, dst, w = g2.edge_list()
+            cold = from_edge_arrays(
+                src, dst, w if g2.weights is not None else None,
+                num_nodes=g2.num_nodes, directed=True,
+            )
+            assert graphs_equal(g2, cold), f"seed {seed}"
+
+    def test_unit_weights_canonicalise_to_none(self):
+        g = from_edge_arrays([0, 1], [1, 2], None, num_nodes=3)
+        g2 = g.apply_delta(GraphDelta(add_src=[0], add_dst=[2], add_weights=[2.0]))
+        assert g2.is_weighted
+        g3 = g2.apply_delta(GraphDelta(remove_src=[0], remove_dst=[2]))
+        assert not g3.is_weighted  # all-ones array demoted to None
+
+    def test_node_and_edge_types_preserved(self):
+        g = from_edge_arrays(
+            [0, 1], [1, 2], [2.0, 3.0], num_nodes=3,
+            node_types=[0, 1, 0], edge_types=[1, 2],
+        )
+        delta = GraphDelta(
+            add_nodes=1, add_node_types=[1],
+            add_src=[3], add_dst=[0], add_weights=[1.5], add_edge_types=[2],
+        )
+        g2 = g.apply_delta(delta)
+        assert g2.node_types.tolist() == [0, 1, 0, 1]
+        assert g2.edge_types[g2.edge_index(3, 0)] == 2
+        assert g2.num_edge_types == 3
+
+    def test_grow_and_shrink(self):
+        g = random_graph(1)
+        n = g.num_nodes
+        g2 = g.apply_delta(GraphDelta.grow(3))
+        assert g2.num_nodes == n + 3 and g2.degree(n + 2) == 0
+        g3 = g2.apply_delta(GraphDelta(remove_last_nodes=3))
+        assert graphs_equal(g3, g)
+
+
+class TestDeltaAlgebra:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_apply_inverse_roundtrips_bitwise(self, seed):
+        g = random_graph(seed, weighted=seed % 2 == 0)
+        rng = np.random.default_rng(seed + 50)
+        delta = random_delta(g, rng, add_nodes=seed % 2)
+        g2 = g.apply_delta(delta)
+        back = g2.apply_delta(delta.inverse(g))
+        assert graphs_equal(back, g), f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_compose_equals_sequential_apply(self, seed):
+        g = random_graph(seed)
+        rng = np.random.default_rng(seed + 77)
+        d1 = random_delta(g, rng)
+        g1 = g.apply_delta(d1)
+        d2 = random_delta(g1, rng)
+        sequential = g1.apply_delta(d2)
+        squashed = g.apply_delta(d1.compose(d2))
+        assert graphs_equal(sequential, squashed), f"seed {seed}"
+
+    def test_compose_cancels_add_then_remove(self):
+        d1 = GraphDelta(add_src=[0], add_dst=[9])
+        d2 = GraphDelta(remove_src=[0], remove_dst=[9])
+        net = d1.compose(d2)
+        assert net.is_empty()
+
+    def test_dict_roundtrip_and_io(self, tmp_path):
+        d = GraphDelta(
+            add_src=[0], add_dst=[1], add_weights=[2.5],
+            remove_src=[2], remove_dst=[3],
+            reweight_src=[4], reweight_dst=[5], reweight_weights=[0.5],
+            add_nodes=2,
+        )
+        d2 = GraphDelta.from_dict(d.to_dict())
+        assert np.array_equal(d2.add_weights, d.add_weights)
+        assert d2.add_nodes == 2
+        path = tmp_path / "stream.jsonl"
+        save_deltas([d, GraphDelta.remove_edges([1], [2])], path)
+        loaded = load_deltas(path)
+        assert len(loaded) == 2 and loaded[1].remove_src.size == 2
+
+    def test_npz_delta_file(self, tmp_path):
+        path = tmp_path / "delta.npz"
+        np.savez(path, add_src=[0], add_dst=[2], add_weights=[1.5], add_nodes=1)
+        (d,) = load_deltas(path)
+        assert d.add_src.tolist() == [0] and d.add_nodes == 1
+
+    def test_bad_jsonl_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"add": [[0]]}\n')
+        with pytest.raises(DeltaError, match="fields"):
+            load_deltas(path)
+
+
+# ----------------------------------------------------------------------
+# DynamicGraph overlay
+# ----------------------------------------------------------------------
+class TestDynamicGraph:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_overlay_matches_compacted_for_all_accessors(self, seed):
+        g = random_graph(seed, weighted=seed % 2 == 0)
+        rng = np.random.default_rng(seed + 9)
+        dyn = DynamicGraph(g)
+        reference = g
+        for step in range(3):
+            delta = random_delta(reference, rng, add_nodes=step % 2)
+            dyn.apply(delta)
+            reference = reference.apply_delta(delta)
+            # overlay answers must match the reference CSR *without* compacting
+            assert dyn.num_nodes == reference.num_nodes
+            assert dyn.num_edge_entries == reference.num_edge_entries
+            assert np.array_equal(dyn.degrees(), reference.degrees())
+            for v in range(reference.num_nodes):
+                assert np.array_equal(dyn.neighbors(v), reference.neighbors(v)), (seed, step, v)
+                assert np.allclose(dyn.neighbor_weights(v), reference.neighbor_weights(v))
+                assert dyn.degree(v) == reference.degree(v)
+                for u in reference.neighbors(v):
+                    off = dyn.edge_index(v, int(u))
+                    assert off >= 0
+                    assert dyn.edge_weight_at(off) == pytest.approx(
+                        float(reference.edge_weight_at(reference.edge_index(v, int(u))))
+                    )
+        compacted = dyn.compact()
+        assert graphs_equal(compacted, reference), f"seed {seed}"
+        assert dyn.num_pending_ops == 0
+
+    def test_validates_against_effective_graph(self):
+        g = random_graph(3)
+        dyn = DynamicGraph(g)
+        s, d = int(g.edge_sources()[0]), int(g.targets[0])
+        dyn.apply(GraphDelta(remove_src=[s], remove_dst=[d]))
+        # removed in the overlay: a second removal must fail, a re-add succeed
+        with pytest.raises(DeltaError, match="not present"):
+            dyn.apply(GraphDelta(remove_src=[s], remove_dst=[d]))
+        dyn.apply(GraphDelta(add_src=[s], add_dst=[d], add_weights=[0.75]))
+        assert dyn.edge_weight_at(dyn.edge_index(s, d)) == 0.75
+        with pytest.raises(DeltaError, match="already present"):
+            dyn.apply(GraphDelta(add_src=[s], add_dst=[d]))
+
+    def test_walks_after_compact_match_cold_built_graph(self):
+        g = random_graph(11)
+        dyn = DynamicGraph(g)
+        # apply a schedule, then compare walks on compact() vs cold rebuild
+        dyn.apply(random_delta(g, np.random.default_rng(21)))
+        compacted = dyn.compact()
+        src, dst, w = compacted.edge_list()
+        cold = from_edge_arrays(
+            src, dst, w if compacted.weights is not None else None,
+            num_nodes=compacted.num_nodes, directed=True,
+        )
+        assert graphs_equal(compacted, cold)
+        for model_name, params in [("deepwalk", {}), ("node2vec", {"p": 0.5, "q": 2.0})]:
+            e1 = VectorizedWalkEngine(compacted, model_name, sampler="mh", seed=9, **params)
+            e2 = VectorizedWalkEngine(cold, model_name, sampler="mh", seed=9, **params)
+            c1 = e1.generate(num_walks=2, walk_length=12)
+            c2 = e2.generate(num_walks=2, walk_length=12)
+            assert np.array_equal(c1.walks, c2.walks)
+            assert np.array_equal(c1.lengths, c2.lengths)
+
+    def test_embeddings_after_compact_match_cold_built_graph(self):
+        from repro.embedding.word2vec import Word2Vec
+
+        g = random_graph(13)
+        dyn = DynamicGraph(g)
+        dyn.apply(random_delta(g, np.random.default_rng(31)))
+        compacted = dyn.compact()
+        src, dst, w = compacted.edge_list()
+        cold = from_edge_arrays(
+            src, dst, w if compacted.weights is not None else None,
+            num_nodes=compacted.num_nodes, directed=True,
+        )
+        vecs = []
+        for graph in (compacted, cold):
+            engine = VectorizedWalkEngine(graph, "deepwalk", sampler="mh", seed=4)
+            corpus = engine.generate(num_walks=2, walk_length=10)
+            kv = Word2Vec(8, seed=3, negative_sharing=True).fit(corpus, num_nodes=graph.num_nodes)
+            vecs.append(kv)
+        assert np.array_equal(vecs[0].vectors, vecs[1].vectors)
+
+
+# ----------------------------------------------------------------------
+# DeltaPlan / sampler refresh
+# ----------------------------------------------------------------------
+class TestDeltaPlan:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_edge_remap_agrees_with_new_graph_search(self, seed):
+        g = random_graph(seed)
+        delta = random_delta(g, np.random.default_rng(seed + 3))
+        plan = DeltaPlan.build(g, delta)
+        remap = plan.edge_remap()
+        src = g.edge_sources()
+        removed = set(map(tuple, np.stack([delta.remove_src, delta.remove_dst], axis=1).tolist()))
+        for o in range(g.num_edge_entries):
+            pair = (int(src[o]), int(g.targets[o]))
+            if pair in removed:
+                assert remap[o] == -1
+            else:
+                assert remap[o] == plan.new_graph.edge_index(*pair), (seed, o)
+
+
+class TestSamplerOnDelta:
+    @pytest.fixture
+    def setting(self):
+        g = erdos_renyi(150, 6.0, seed=2, weight_mode="uniform")
+        delta = random_delta(g, np.random.default_rng(8))
+        return g, delta, DeltaPlan.build(g, delta)
+
+    @pytest.mark.parametrize(
+        "sampler", ["mh", "direct", "alias", "rejection", "knightking"]
+    )
+    def test_engine_apply_delta_walks_stay_valid(self, setting, sampler):
+        g, delta, plan = setting
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        engine = VectorizedWalkEngine(g, model, sampler=sampler, seed=6)
+        engine.generate(num_walks=1, walk_length=10)
+        new_g = engine.apply_delta(DeltaPlan(g, plan.new_graph, delta))
+        corpus = engine.generate(num_walks=1, walk_length=10)
+        # every consecutive pair in every walk is an edge of the new graph
+        for row, ln in zip(corpus.walks, corpus.lengths):
+            for a, b in zip(row[: ln - 1], row[1:ln]):
+                assert new_g.has_edge(int(a), int(b)), (sampler, a, b)
+        stats = engine.stats()
+        assert stats["delta_seconds"] >= 0.0
+        if sampler == "alias":
+            assert stats["rebuilt_nodes"] > 0 and stats["rebuild_cost_bytes"] > 0
+        if sampler == "mh":
+            assert stats["rebuild_cost_bytes"] == 0
+
+    def test_eager_alias_on_delta_matches_fresh_build(self, setting):
+        from repro.walks.vectorized import EagerStateAliasTables
+
+        g, delta, plan = setting
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        tables = EagerStateAliasTables(g, model)
+        tables.on_delta(plan, model.rebind(plan.new_graph))
+        fresh = EagerStateAliasTables(
+            plan.new_graph, make_model("node2vec", plan.new_graph, p=0.5, q=2.0)
+        )
+        assert np.array_equal(tables.base, fresh.base)
+        assert np.array_equal(tables.has_table, fresh.has_table)
+        assert np.allclose(tables.threshold, fresh.threshold)
+        assert np.array_equal(tables.alias_local, fresh.alias_local)
+
+    def test_first_order_store_on_delta_matches_fresh_build(self, setting):
+        from repro.sampling.alias import FirstOrderAliasStore
+
+        g, delta, plan = setting
+        store = FirstOrderAliasStore(g)
+        info = store.on_delta(plan)
+        fresh = FirstOrderAliasStore(plan.new_graph)
+        assert np.allclose(store.threshold, fresh.threshold)
+        assert np.array_equal(store.alias, fresh.alias)
+        # affected-only: no more rows rebuilt than the delta touched
+        assert 0 < info["rebuilt_nodes"] <= plan.touched_nodes().size
+
+    def test_on_delta_survives_trailing_node_removal(self):
+        from repro.sampling.alias import FirstOrderAliasStore
+        from repro.sampling.knightking import KnightKingSampler
+
+        g = from_edge_arrays([0, 1, 0], [1, 2, 2], [2.0, 3.0, 4.0], num_nodes=3)
+        # strip node 2 of its edges, then drop it entirely
+        delta = GraphDelta(
+            remove_src=[0, 1, 2, 2], remove_dst=[2, 2, 0, 1], remove_last_nodes=1
+        )
+        plan = DeltaPlan.build(g, delta)
+        assert plan.new_graph.num_nodes == 2
+        store = FirstOrderAliasStore(g)
+        store.on_delta(plan)  # touched node 2 no longer exists: must not crash
+        fresh = FirstOrderAliasStore(plan.new_graph)
+        if store.uniform:
+            assert fresh.uniform
+        else:
+            assert np.allclose(store.threshold, fresh.threshold)
+        kk = KnightKingSampler(g)
+        model = make_model("node2vec", g, p=0.5, q=2.0).rebind(plan.new_graph)
+        kk.on_delta(plan, model=model)
+        assert kk._row_weight_totals.size == 2
+
+    def test_mh_chain_remap_only_touches_affected(self, setting):
+        g, __, ___ = setting
+        # a genuinely small delta: one removed entry, one added entry
+        s, d = int(g.edge_sources()[0]), int(g.targets[0])
+        u = 0
+        while g.has_edge(10, u) or u == 10:
+            u += 1
+        delta = GraphDelta(remove_src=[s], remove_dst=[d], add_src=[10], add_dst=[u])
+        plan = DeltaPlan.build(g, delta)
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        engine = VectorizedWalkEngine(g, model, sampler="mh", seed=3)
+        engine.generate(num_walks=2, walk_length=20)
+        chains = engine.stepper.chains
+        before = chains.last.copy()
+        initialized_before = int((before != -1).sum())
+        engine.apply_delta(DeltaPlan(g, plan.new_graph, delta))
+        after = chains.last
+        new_g = plan.new_graph
+        assert after.size == new_g.num_edge_entries
+        # every surviving resident edge is a valid out-edge of its state's node
+        live = np.flatnonzero(after != -1)
+        resident = after[live]
+        cur = new_g.targets[live]  # state = edge (s -> v); draws come from N(v)
+        lo = new_g.offsets[cur]
+        hi = new_g.offsets[cur + 1]
+        assert np.all((resident >= lo) & (resident < hi))
+        # a single-edge delta touches almost nothing
+        survived = int((after != -1).sum())
+        assert survived > 0.95 * initialized_before
+        invalidated = engine.stats()["invalidated_states"]
+        assert invalidated < 0.05 * initialized_before
+
+    def test_scalar_samplers_on_delta(self, setting):
+        from repro.sampling.alias import SecondOrderAliasSampler
+        from repro.sampling.direct import DirectSampler
+        from repro.sampling.knightking import KnightKingSampler
+        from repro.sampling.metropolis import MetropolisHastingsSampler
+        from repro.sampling.rejection import RejectionSampler
+        from repro.walks.state import WalkerState
+
+        g, delta, plan = setting
+        model = make_model("node2vec", g, p=0.5, q=2.0)
+        rng = np.random.default_rng(0)
+
+        def warm(sampler):
+            state = model.initial_state(0)
+            off = g.edge_index(0, int(g.neighbors(0)[0]))
+            state = model.update_state(state, off)
+            for __ in range(20):
+                sampler.sample(g, model, state, rng)
+            return sampler
+
+        samplers = [
+            warm(MetropolisHastingsSampler(g, model, initializer="random")),
+            warm(SecondOrderAliasSampler(g, model)),
+            warm(DirectSampler()),
+            warm(RejectionSampler(g)),
+            warm(KnightKingSampler(g)),
+        ]
+        model.rebind(plan.new_graph)
+        for sampler in samplers:
+            info = sampler.on_delta(plan, model=model)
+            assert set(info) >= {"rebuilt_nodes", "rebuild_cost_bytes", "invalidated_states"}
+            assert sampler.stats.extra["rebuilt_nodes"] == info["rebuilt_nodes"]
+        # all still sample valid edges on the new graph
+        new_g = plan.new_graph
+        state = model.initial_state(0)
+        off = new_g.edge_index(0, int(new_g.neighbors(0)[0]))
+        state = model.update_state(state, off)
+        for sampler in samplers:
+            out = sampler.sample(new_g, model, state, rng)
+            if out != -1:
+                lo, hi = new_g.edge_range(state.current)
+                assert lo <= out < hi
+        model.rebind(g)
+
+    def test_fairwalk_rebind_refreshes_type_counts(self):
+        g = random_graph(4, weighted=False)
+        types = np.arange(g.num_nodes, dtype=np.int16) % 2
+        g = g.with_node_types(types)
+        model = make_model("fairwalk", g, p=1.0, q=1.0)
+        delta = GraphDelta(add_nodes=1, add_node_types=[1], add_src=[g.num_nodes], add_dst=[0])
+        g2 = g.apply_delta(delta)
+        model.rebind(g2)
+        assert model.type_counts.shape[0] == g2.num_nodes
+        fresh = make_model("fairwalk", g2, p=1.0, q=1.0)
+        assert np.array_equal(model.type_counts, fresh.type_counts)
+
+
+# ----------------------------------------------------------------------
+# UniNet facade lifecycle
+# ----------------------------------------------------------------------
+class TestUniNetDynamic:
+    @pytest.fixture
+    def net(self):
+        from repro import UniNet
+
+        g = erdos_renyi(120, 5.0, seed=4)
+        net = UniNet(g, model="deepwalk", seed=7)
+        net.train(num_walks=2, walk_length=10, dimensions=8, negative_sharing=True)
+        return net
+
+    def test_serve_raises_when_stale_and_recovers(self, net):
+        net.serve()  # fresh: fine
+        net.update(GraphDelta.add_edges([0], [100]))
+        assert net.embeddings_stale
+        with pytest.raises(ServingError, match="stale"):
+            net.serve()
+        # explicit embeddings bypass the guard
+        net.serve(embeddings=net.last_embeddings)
+        net.refresh_embeddings(num_walks=1, walk_length=8)
+        assert not net.embeddings_stale
+        net.serve()
+
+    def test_update_returns_affected_and_retrains(self, net):
+        n = net.graph.num_nodes
+        result = net.update(
+            GraphDelta(add_nodes=2, add_src=[n, n + 1], add_dst=[0, 1],
+                       add_weights=[1.0, 1.0]),
+            retrain=True, num_walks=1, walk_length=6,
+        )
+        assert {n, n + 1} <= set(result.affected_nodes.tolist())
+        assert result.retrain is not None
+        # the new nodes got embedded
+        assert n in net.last_embeddings and (n + 1) in net.last_embeddings
+        assert net.graph.num_nodes == n + 2
+
+    def test_refresh_without_train_raises(self):
+        from repro import UniNet
+
+        net = UniNet(erdos_renyi(30, 4.0, seed=1), model="deepwalk", seed=0)
+        net.update(GraphDelta.add_edges([0], [20]))
+        with pytest.raises(TrainingError, match="prior train"):
+            net.refresh_embeddings()
+
+    def test_affected_start_nodes_horizon(self, net):
+        net.update(GraphDelta.add_edges([3], [50]))
+        one_hop = net.affected_start_nodes(2)
+        deep = net.affected_start_nodes(20)
+        assert {3, 50} <= set(one_hop.tolist())
+        assert one_hop.size <= deep.size
+        expected_one_hop = set(net.graph.neighbors(3).tolist()) | set(
+            net.graph.neighbors(50).tolist()
+        ) | {3, 50}
+        assert set(one_hop.tolist()) == expected_one_hop
+
+    def test_update_accepts_dict_and_invalid_refresh_raises(self, net):
+        net.update({"add": [[0, 101], [101, 0]]})
+        assert net.graph.has_edge(0, 101)
+        with pytest.raises(DeltaError, match="refresh"):
+            net.update(GraphDelta.remove_edges([0], [101]), refresh="later")
+
+    def test_chains_persist_across_refreshes(self, net):
+        net.refresh_embeddings(num_walks=1, walk_length=6, start_nodes=np.arange(50))
+        assert net._chain_store is not None
+        touched_before = net._chain_store.num_initialized
+        assert touched_before > 0
+        ur = net.update(GraphDelta.add_edges([0], [110]))
+        # remap happened on the live store (counts reported)
+        assert "invalidated_states" in ur.sampler_refresh
+        assert net._chain_store.num_initialized > 0
+
+
+# ----------------------------------------------------------------------
+# serving write path
+# ----------------------------------------------------------------------
+class TestServingDynamic:
+    def test_upsert_updates_and_inserts(self):
+        from repro.serving import EmbeddingStore, QueryService
+
+        rng = np.random.default_rng(3)
+        store = EmbeddingStore(np.arange(10), rng.normal(size=(10, 4)).astype(np.float32))
+        service = QueryService(store, index="bruteforce", cache_size=8)
+        service.most_similar_batch([0, 1], topn=3)
+        replacement = rng.normal(size=4).astype(np.float32)
+        info = store.upsert([4, 99], np.stack([replacement, replacement]))
+        assert info == {"updated": 1, "inserted": 1}
+        assert 99 in store and np.allclose(store.vector(4), replacement)
+        assert store.norms[store.rows_for(99)[0]] == pytest.approx(
+            float(np.linalg.norm(replacement))
+        )
+        service.refresh()
+        # the two identical vectors must now be each other's top neighbour
+        (top,) = service.most_similar_batch([99], topn=1)
+        assert top[0][0] == 4 and top[0][1] == pytest.approx(1.0, abs=1e-5)
+        assert service.stats()["refreshes"] == 1
+
+    def test_upsert_shape_and_duplicate_checks(self):
+        from repro.serving import EmbeddingStore
+
+        store = EmbeddingStore(np.arange(4), np.eye(4, dtype=np.float32))
+        with pytest.raises(ServingError, match="must be"):
+            store.upsert([0], np.zeros((1, 3), np.float32))
+        with pytest.raises(ServingError, match="unique"):
+            store.upsert([1, 1], np.zeros((2, 4), np.float32))
+
+    def test_readonly_mmap_upsert_raises(self, tmp_path):
+        from repro.serving import EmbeddingStore
+
+        store = EmbeddingStore(np.arange(4), np.eye(4, dtype=np.float32))
+        path = tmp_path / "s.embstore"
+        store.save(path)
+        opened = EmbeddingStore.open(path)
+        with pytest.raises(ServingError, match="read-only"):
+            opened.upsert([0], np.zeros((1, 4), np.float32))
+        # the documented escape hatch works
+        writable = EmbeddingStore.open(path, mmap=False)
+        writable.upsert([0], np.ones((1, 4), np.float32))
+        writable.save(path)
+        assert np.allclose(EmbeddingStore.open(path).vector(0), 1.0)
+
+    def test_refresh_with_replacement_store(self):
+        from repro.serving import EmbeddingStore, QueryService
+
+        a = EmbeddingStore(np.arange(5), np.eye(5, dtype=np.float32))
+        b = EmbeddingStore(np.arange(7), np.eye(7, dtype=np.float32))
+        service = QueryService(a, index="bruteforce", cache_size=4)
+        service.refresh(b)
+        assert service.stats()["store_count"] == 7
+
+
+# ----------------------------------------------------------------------
+# declarative + CLI surface
+# ----------------------------------------------------------------------
+class TestUpdatesSpec:
+    def base_spec(self):
+        return {
+            "graph": {"dataset": "amazon", "scale": 0.05, "seed": 1},
+            "walk": {"num_walks": 1, "walk_length": 8},
+            "train": {"dimensions": 8, "negative_sharing": True},
+            "updates": {
+                "steps": [{"add": [[0, 40]]}, {"remove": [[0, 40]]}],
+                "symmetric": True,
+                "num_walks": 1,
+                "walk_length": 6,
+            },
+        }
+
+    def test_roundtrip_and_validation(self):
+        from repro import RunSpec
+        from repro.errors import SpecError
+
+        spec = RunSpec.from_dict(self.base_spec())
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.updates.steps == spec.updates.steps
+        spec.validate()
+        bad = self.base_spec()
+        bad["updates"]["refresh"] = "sometimes"
+        with pytest.raises(SpecError, match="refresh"):
+            RunSpec.from_dict(bad).validate()
+        bad = self.base_spec()
+        bad["updates"]["steps"] = [{"add": [[0]]}]
+        with pytest.raises(SpecError, match="invalid updates step"):
+            RunSpec.from_dict(bad).validate()
+        bad = self.base_spec()
+        bad["train"] = None
+        with pytest.raises(SpecError, match="train"):
+            RunSpec.from_dict(bad).validate()
+        # retrain=false + serving would silently serve stale vectors
+        bad = self.base_spec()
+        bad["updates"]["retrain"] = False
+        bad["serving"] = {"probe_queries": 4}
+        with pytest.raises(SpecError, match="stale"):
+            RunSpec.from_dict(bad).validate()
+
+    def test_run_replays_schedule(self):
+        from repro import run
+
+        report = run(self.base_spec())
+        rows = report.metrics["updates"]
+        assert len(rows) == 2
+        assert rows[0]["added"] == 2 and rows[1]["removed"] == 2
+        assert all("update_s" in row and "refresh_s" in row for row in rows)
+        assert report.embeddings is not None
+
+    def test_cli_update_verb(self, tmp_path, capsys):
+        from repro.cli import main
+
+        deltas = tmp_path / "d.jsonl"
+        deltas.write_text(
+            json.dumps({"add": [[0, 50]], "symmetric": True}) + "\n"
+            + json.dumps({"remove": [[0, 50]], "symmetric": True}) + "\n"
+        )
+        out = tmp_path / "v.npz"
+        code = main([
+            "update", "--dataset", "amazon", "--scale", "0.05", "--seed", "2",
+            "--num-walks", "1", "--walk-length", "8", "--dimensions", "8",
+            "--deltas", str(deltas), "--update-num-walks", "1",
+            "--output", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "replayed 2 delta(s)" in captured
+
+    def test_cli_update_missing_deltas(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "update", "--dataset", "amazon", "--scale", "0.05",
+            "--deltas", str(tmp_path / "absent.jsonl"),
+        ])
+        assert code == 2
+        assert "cannot load deltas" in capsys.readouterr().err

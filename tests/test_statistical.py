@@ -165,3 +165,92 @@ class TestNode2VecTransitionDistribution:
         static = static / static.sum()
         __, p_static = stats.chisquare(counts, static * draws)
         assert p_static < ALPHA
+
+
+class TestMutatedGraphDistribution:
+    """Walks on a delta-mutated graph match walks on a cold-built one.
+
+    The dynamic-graph claim is distributional: after ``apply_delta`` +
+    affected-only sampler revalidation, the *surviving* M-H chain state
+    must not bias the walk law — endpoints still follow the mutated
+    graph's degree-proportional stationary distribution, and agree with
+    an engine built fresh on the same edge set.
+    """
+
+    def _mutate(self, graph, seed: int):
+        """A symmetric delta (the storage convention the degree law needs):
+        3 undirected removals off the spine + 3 undirected additions."""
+        from repro.graph.delta import DeltaPlan, GraphDelta
+
+        rng = np.random.default_rng(seed)
+        rem_src, rem_dst = [], []
+        while len(rem_src) < 3:
+            u = int(rng.integers(graph.num_nodes))
+            for v in graph.neighbors(u):
+                v = int(v)
+                # keep the path spine (connectivity) and avoid duplicates
+                if abs(u - v) != 1 and u < v and (u, v) not in zip(rem_src, rem_dst):
+                    rem_src.append(u)
+                    rem_dst.append(v)
+                    break
+        add_src, add_dst = [], []
+        while len(add_src) < 3:
+            u, v = int(rng.integers(graph.num_nodes)), int(rng.integers(graph.num_nodes))
+            if u < v and not graph.has_edge(u, v) and (u, v) not in zip(add_src, add_dst):
+                add_src.append(u)
+                add_dst.append(v)
+        delta = GraphDelta.remove_edges(rem_src, rem_dst, symmetric=True).compose(
+            GraphDelta.add_edges(add_src, add_dst, symmetric=True)
+        )
+        return DeltaPlan.build(graph, delta), delta
+
+    def test_mutated_endpoints_match_degree_distribution(self):
+        graph = _irregular_connected_graph()
+        plan, delta = self._mutate(graph, seed=23)
+        engine = VectorizedWalkEngine(graph, "deepwalk", sampler="mh", seed=17)
+        engine.generate(num_walks=50, walk_length=30)  # warm the chains
+        engine.apply_delta(plan)
+
+        corpus = engine.generate(num_walks=400, walk_length=60)
+        ends = corpus.walks[np.arange(corpus.num_walks), corpus.lengths - 1]
+        obs = np.bincount(ends, minlength=plan.new_graph.num_nodes).astype(np.float64)
+        degrees = plan.new_graph.degrees().astype(np.float64)
+        expected = degrees / degrees.sum() * obs.sum()
+        keep = expected >= 5  # isolated leftovers fall out of the test
+        __, p = stats.chisquare(obs[keep], expected[keep] / expected[keep].sum() * obs[keep].sum())
+        assert p > ALPHA, f"mutated-graph endpoints reject degree law (p={p:.2e})"
+
+        # and the surviving chains do not bias the walks relative to a
+        # cold engine on the identical edge set
+        cold = VectorizedWalkEngine(plan.new_graph, "deepwalk", sampler="mh", seed=91)
+        cold_corpus = cold.generate(num_walks=400, walk_length=60)
+        cold_ends = cold_corpus.walks[
+            np.arange(cold_corpus.num_walks), cold_corpus.lengths - 1
+        ]
+        cold_obs = np.bincount(cold_ends, minlength=plan.new_graph.num_nodes).astype(np.float64)
+        tv = 0.5 * np.abs(obs / obs.sum() - cold_obs / cold_obs.sum()).sum()
+        assert tv < 0.05
+
+    def test_power_mutated_walks_reject_premutation_law(self):
+        """Teeth: walks on the mutated graph reject the *old* degree law
+        when the delta moves enough mass."""
+        graph = _irregular_connected_graph()
+        from repro.graph.delta import DeltaPlan, GraphDelta
+
+        hub = int(np.argmax(graph.degrees()))
+        others = [v for v in range(graph.num_nodes) if v != hub and not graph.has_edge(hub, v)]
+        delta = GraphDelta(
+            add_src=[hub] * len(others) + others,
+            add_dst=others + [hub] * len(others),
+        )
+        plan = DeltaPlan.build(graph, delta)
+        engine = VectorizedWalkEngine(graph, "deepwalk", sampler="mh", seed=29)
+        engine.generate(num_walks=20, walk_length=20)
+        engine.apply_delta(plan)
+        corpus = engine.generate(num_walks=400, walk_length=60)
+        ends = corpus.walks[np.arange(corpus.num_walks), corpus.lengths - 1]
+        obs = np.bincount(ends, minlength=graph.num_nodes).astype(np.float64)
+        old_deg = graph.degrees().astype(np.float64)
+        expected = old_deg / old_deg.sum() * obs.sum()
+        __, p = stats.chisquare(obs, expected)
+        assert p < ALPHA
