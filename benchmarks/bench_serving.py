@@ -25,9 +25,15 @@ import os
 import numpy as np
 
 from repro.embedding import KeyedVectors
-from repro.serving import EmbeddingStore, IVFIndex, QueryService
+from repro.serving import EmbeddingStore, IVFIndex, QueryService, topk_overlap
+from repro.serving.codec import _largest_divisor_at_most
 
 from _common import record_table, timed
+
+#: points per mixture center in the codec-comparison store: small, tight
+#: clusters keep each point's top-10 a well-separated *set*, the regime
+#: recall@10 measures (instead of shuffling within-cluster near-ties)
+CODEC_CLUSTER_SIZE = 10
 
 SCALE = float(os.environ.get("BENCH_SERVING_SCALE", "1.0"))
 
@@ -48,11 +54,7 @@ def _clustered_vectors(rng) -> np.ndarray:
 
 
 def _recall(reference, got) -> float:
-    hits = sum(
-        len({k for k, __ in ref} & {k for k, __ in res})
-        for ref, res in zip(reference, got)
-    )
-    return hits / (len(reference) * TOPK)
+    return topk_overlap(reference, got)
 
 
 def test_serving_throughput_and_recall():
@@ -145,3 +147,104 @@ def test_serving_throughput_and_recall():
         assert max(eligible) >= 10.0, f"best eligible speedup {max(eligible):.1f}x < 10x"
     # IVF with an exhaustive probe is exact, so comfortably over the floor
     assert exhaustive_recall >= 0.9
+
+
+def test_codec_memory_recall_throughput():
+    """The compressed read path: bytes/vector vs recall vs throughput.
+
+    Same 1k-query workload over a 50k x 128 store served from each codec
+    through the exhaustive (brute-force) index — the ADC scan is doing
+    the compressed scoring — plus IVF composed over the PQ store
+    (IVFADC). Columns report the matrix-section bytes, compression
+    ratio over float32, recall@10 against the exact float32 answers,
+    and query wall time / QPS.
+
+    Acceptance shape at the full scale: PQ (m=32) stores >= 8x fewer
+    matrix bytes while keeping recall@10 >= 0.85 and batched-query
+    throughput within 2x of float32 brute force.
+    """
+    rng = np.random.default_rng(11)
+    clusters = max(NUM_VECTORS // CODEC_CLUSTER_SIZE, 8)
+    centers = rng.standard_normal((clusters, DIMENSIONS)).astype(np.float32)
+    assign = rng.permutation(np.arange(NUM_VECTORS) % clusters)
+    vectors = centers[assign] + 0.25 * rng.standard_normal(
+        (NUM_VECTORS, DIMENSIONS)
+    ).astype(np.float32)
+    base = EmbeddingStore(np.arange(NUM_VECTORS), vectors)
+    query_keys = rng.choice(NUM_VECTORS, size=NUM_QUERIES, replace=False)
+
+    float_bytes = base.codes.nbytes
+    # the m the pq codec itself would settle on for ~4-dim subspaces
+    pq_m = _largest_divisor_at_most(DIMENSIONS, DIMENSIONS // 4)
+    configs = [
+        ("float32", None, {}),
+        ("int8", "int8", {}),
+        (f"pq m={pq_m}", "pq", {"m": pq_m, "seed": 0}),
+    ]
+    rows = []
+    results_by_codec = {}
+    exact_results = None
+    for label, codec, params in configs:
+        store, build_s = (
+            (base, 0.0) if codec is None else timed(base.recode, codec, **params)
+        )
+        service = QueryService(store, index="bruteforce", cache_size=0)
+        results, query_s = timed(service.most_similar_batch, query_keys, TOPK)
+        if exact_results is None:
+            exact_results = results
+        results_by_codec[label] = (store, results, query_s)
+        rows.append(
+            {
+                "codec": label,
+                "matrix_bytes": store.codes.nbytes,
+                "ratio_vs_float32": round(float_bytes / store.codes.nbytes, 1),
+                "build_s": round(build_s, 3),
+                "query_s": round(query_s, 3),
+                "qps": round(NUM_QUERIES / max(query_s, 1e-9), 1),
+                "recall@10": round(_recall(exact_results, results), 3),
+            }
+        )
+
+    # IVFADC: the coarse quantizer composed over the PQ codes
+    pq_store = results_by_codec[f"pq m={pq_m}"][0]
+    nlist = max(1, int(round(np.sqrt(NUM_VECTORS))))
+    ivf, ivf_build_s = timed(IVFIndex, pq_store, nlist=nlist, nprobe=max(nlist // 8, 1), seed=1)
+    service = QueryService(pq_store, index=ivf, cache_size=0)
+    results, query_s = timed(service.most_similar_batch, query_keys, TOPK)
+    rows.append(
+        {
+            "codec": f"pq m={pq_m} + ivf nprobe={ivf.nprobe}",
+            "matrix_bytes": pq_store.codes.nbytes,
+            "ratio_vs_float32": round(float_bytes / pq_store.codes.nbytes, 1),
+            "build_s": round(ivf_build_s, 3),
+            "query_s": round(query_s, 3),
+            "qps": round(NUM_QUERIES / max(query_s, 1e-9), 1),
+            "recall@10": round(_recall(exact_results, results), 3),
+        }
+    )
+
+    record_table(
+        "serving_codec",
+        ["codec", "matrix_bytes", "ratio_vs_float32", "build_s", "query_s", "qps", "recall@10"],
+        rows,
+        title=(
+            f"codec comparison: {NUM_QUERIES} queries, top-{TOPK} over "
+            f"{NUM_VECTORS} x {DIMENSIONS} embeddings"
+        ),
+    )
+
+    by_codec = {row["codec"]: row for row in rows}
+    int8_row, pq_row = by_codec["int8"], by_codec[f"pq m={pq_m}"]
+    # the memory story must hold at any scale
+    assert int8_row["ratio_vs_float32"] >= 4.0
+    assert pq_row["ratio_vs_float32"] >= 8.0
+    if NUM_VECTORS >= 20_000 and NUM_QUERIES >= 1000:
+        # the acceptance bar: 8x+ smaller PQ store keeps recall@10 >= 0.85
+        # with batched throughput within 2x of the float32 exact scan
+        float_s = by_codec["float32"]["query_s"]
+        assert int8_row["recall@10"] >= 0.95
+        assert pq_row["recall@10"] >= 0.85
+        assert pq_row["query_s"] <= 2.0 * float_s, (
+            f"pq scan {pq_row['query_s']:.3f}s vs float32 {float_s:.3f}s"
+        )
+        assert int8_row["query_s"] <= 2.0 * float_s

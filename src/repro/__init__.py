@@ -76,6 +76,8 @@ _LAZY_ATTRS = {
     "EmbeddingStore": ("repro.serving.store", "EmbeddingStore"),
     "QueryService": ("repro.serving.service", "QueryService"),
     "register_index": ("repro.serving.index", "register_index"),
+    "register_codec": ("repro.serving.codec", "register_codec"),
+    "make_codec": ("repro.serving.codec", "make_codec"),
     "run": ("repro.core.runner", "run"),
     "run_many": ("repro.core.runner", "run_many"),
     "RunReport": ("repro.core.runner", "RunReport"),

@@ -30,6 +30,8 @@ Examples::
     python -m repro run --spec spec.json --set sampler=rejection \
         --set streaming.shard_walks=4096
     python -m repro export-store --vectors vectors.npz --output vectors.embstore
+    python -m repro export-store --vectors vectors.npz --codec pq --pq-m 32 \
+        --output vectors.pq.embstore
     python -m repro query --store vectors.embstore --keys 0 1 2 --topn 5 \
         --index ivf --nprobe 16
     python -m repro update --dataset amazon --scale 0.1 --deltas edits.jsonl \
@@ -257,10 +259,31 @@ def _cmd_export_store(args) -> int:
     except (OSError, KeyError, ReproError) as err:
         print(f"error: cannot load vectors from {args.vectors}: {err}", file=sys.stderr)
         return 2
-    store = kv.to_store(args.output)
+    try:
+        from repro.serving.codec import CODEC_REGISTRY
+
+        codec = CODEC_REGISTRY.canonical(args.codec)
+        codec_params = {}
+        if codec == "pq":
+            codec_params = {"m": args.pq_m, "k": args.pq_k, "seed": args.codec_seed}
+        # generic escape hatch so third-party codecs get their
+        # constructor parameters from the CLI too
+        for item in args.codec_param:
+            key, value = _parse_override(item)
+            codec_params[key] = value
+        store = kv.to_store(args.output, codec=codec, **codec_params)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except TypeError as err:
+        print(f"error: codec {args.codec!r} rejected its parameters: {err}", file=sys.stderr)
+        return 2
+    float_bytes = 4 * len(store) * store.dimensions
+    ratio = float_bytes / max(store.codes.nbytes, 1)
     print(
         f"exported {len(store)} x {store.dimensions} embeddings "
-        f"({store.nbytes:,} data bytes) to {args.output}"
+        f"({store.nbytes:,} data bytes, codec {store.codec.name}, "
+        f"{ratio:.1f}x vs float32) to {args.output}"
     )
     return 0
 
@@ -302,7 +325,7 @@ def _cmd_query(args) -> int:
     print(
         f"[{stats['queries']} queries in {stats['seconds']:.4f}s = "
         f"{stats['qps']:.0f} qps; store {stats['store_count']} x "
-        f"{stats['store_dimensions']}]"
+        f"{stats['store_dimensions']} (codec {stats['codec']})]"
     )
     return 0
 
@@ -495,6 +518,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("--vectors", required=True, help="KeyedVectors .npz (from train)")
     export.add_argument("--output", required=True, help="store file to write")
+    export.add_argument(
+        "--codec", default="float32",
+        help="store compression: float32 (exact), int8 (4x), pq (~16x at d=128)",
+    )
+    export.add_argument(
+        "--pq-m", type=int, default=16, metavar="M",
+        help="pq: subspaces / bytes per vector (lowered to a divisor of dim)",
+    )
+    export.add_argument(
+        "--pq-k", type=int, default=256, metavar="K",
+        help="pq: centroids per subspace codebook (<= 256)",
+    )
+    export.add_argument("--codec-seed", type=int, default=0, help="pq: codebook training seed")
+    export.add_argument(
+        "--codec-param", action="append", default=[], metavar="KEY=VALUE",
+        help="extra codec constructor parameter (JSON values; repeatable) — "
+        "how third-party codecs registered with register_codec get their "
+        "settings",
+    )
     export.set_defaults(func=_cmd_export_store)
 
     query = sub.add_parser(

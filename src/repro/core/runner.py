@@ -155,18 +155,40 @@ def _serve_probe(spec: RunSpec, embeddings) -> dict:
 
     Returns the :class:`~repro.serving.service.QueryService` counter
     snapshot (qps, mean batch latency, cache hit rate) — the read-path
-    numbers recorded next to the evaluation metrics.
+    numbers recorded next to the evaluation metrics. With a non-float32
+    codec the store is quantized first and the snapshot additionally
+    carries ``compression_ratio`` (float32 matrix bytes over encoded
+    bytes) and ``recall_probe`` (the probe batch's top-``topn`` overlap
+    with the exact float32 brute-force answers).
     """
-    from repro.serving import QueryService
+    from repro.serving import EmbeddingStore, QueryService
 
     sv = spec.serving
+    base = EmbeddingStore.from_keyed_vectors(embeddings)
+    store = base if sv.codec == "float32" else base.recode(sv.codec, **sv.codec_params)
     service = QueryService(
-        embeddings, index=sv.index, cache_size=sv.cache_size, **sv.index_params
+        store, index=sv.index, cache_size=sv.cache_size, **sv.index_params
     )
     probe_keys = np.asarray(service.store.keys)[: min(sv.probe_queries, len(service.store))]
-    service.most_similar_batch(probe_keys, topn=sv.topn)
+    results = service.most_similar_batch(probe_keys, topn=sv.topn)
     stats = service.stats()
     stats["topn"] = sv.topn
+    stats["compression_ratio"] = base.codes.nbytes / max(store.codes.nbytes, 1)
+    # anything approximate in the path — a lossy codec or a non-exact
+    # index — gets its recall measured against the exact float32 scan;
+    # only exact-on-exact is 1.0 by construction
+    from repro.serving.index import INDEX_REGISTRY
+
+    index_exact = bool(INDEX_REGISTRY.entry(sv.index).capabilities.get("exact", False))
+    if store is not base or not index_exact:
+        from repro.serving import topk_overlap
+
+        exact = QueryService(base, index="bruteforce", cache_size=0).most_similar_batch(
+            probe_keys, topn=sv.topn
+        )
+        stats["recall_probe"] = topk_overlap(exact, results)
+    else:
+        stats["recall_probe"] = 1.0
     return stats
 
 

@@ -145,22 +145,31 @@ class ServingSpec:
     embeddings, fire a probe batch of ``probe_queries`` keys, and record
     the service's latency/throughput counters under
     ``report.metrics["serving"]`` — the read-path health check next to
-    the downstream-task metrics.
+    the downstream-task metrics. A non-float32 ``codec`` serves a
+    compressed store and additionally records ``compression_ratio`` and
+    ``recall_probe`` (top-``topn`` overlap of the probe batch against
+    the exact float32 answers) — the accuracy/memory trade in numbers.
     """
 
     #: registered index name (see :data:`repro.serving.INDEX_REGISTRY`).
     index: str = "bruteforce"
     #: forwarded to the index factory (``nlist``, ``nprobe``, ...).
     index_params: dict = field(default_factory=dict)
+    #: registered codec name (see :data:`repro.serving.CODEC_REGISTRY`).
+    codec: str = "float32"
+    #: forwarded to the codec constructor (``m``, ``k``, ...).
+    codec_params: dict = field(default_factory=dict)
     cache_size: int = 4096
     topn: int = 10
     #: keys queried by the probe batch (clamped to the store size).
     probe_queries: int = 64
 
     def validate(self) -> "ServingSpec":
+        from repro.serving.codec import CODEC_REGISTRY
         from repro.serving.index import INDEX_REGISTRY
 
         self.index = INDEX_REGISTRY.canonical(self.index)
+        self.codec = CODEC_REGISTRY.canonical(self.codec)
         if self.topn < 1:
             raise SpecError("serving.topn must be >= 1")
         if self.probe_queries < 1:
@@ -169,6 +178,8 @@ class ServingSpec:
             raise SpecError("serving.cache_size must be >= 0")
         if not isinstance(self.index_params, dict):
             raise SpecError("serving.index_params must be a mapping")
+        if not isinstance(self.codec_params, dict):
+            raise SpecError("serving.codec_params must be a mapping")
         return self
 
 

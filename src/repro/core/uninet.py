@@ -433,6 +433,8 @@ class UniNet:
         *,
         index: str = "bruteforce",
         store_path=None,
+        codec: str = "float32",
+        codec_params: dict | None = None,
         cache_size: int = 4096,
         **index_params,
     ):
@@ -443,8 +445,11 @@ class UniNet:
         exported to a memory-mapped
         :class:`~repro.serving.store.EmbeddingStore` file first — the
         multi-process deployment shape; without, an in-memory store is
-        built. ``index_params`` go to the chosen index factory
-        (``nlist``, ``nprobe``, ...).
+        built. ``codec`` selects the store compression (``"float32"``
+        default, ``"int8"``, ``"pq"``; see
+        :data:`repro.serving.CODEC_REGISTRY`) with ``codec_params``
+        forwarded to the codec constructor; ``index_params`` go to the
+        chosen index factory (``nlist``, ``nprobe``, ...).
         """
         from repro.errors import ServingError
         from repro.serving import QueryService
@@ -462,7 +467,7 @@ class UniNet:
                 "train() first, or pass embeddings= explicitly to serve "
                 "the old vectors anyway"
             )
-        store = kv.to_store(store_path)
+        store = kv.to_store(store_path, codec=codec, **(codec_params or {}))
         return QueryService(store, index=index, cache_size=cache_size, **index_params)
 
     def __repr__(self) -> str:

@@ -5,19 +5,35 @@ package turns that blob into something a fleet of query workers can
 serve:
 
 * :mod:`repro.serving.store` — :class:`EmbeddingStore`, a memory-mapped
-  on-disk artifact (header + keys + float32 matrix + precomputed norms)
-  that opens in O(1) and is shared across processes via the page cache;
+  on-disk artifact (header + keys + codec state + encoded matrix +
+  precomputed norms) that opens in O(1) and is shared across processes
+  via the page cache;
+* :mod:`repro.serving.codec` — the registry-pluggable compression
+  family under the store: identity :class:`Float32Codec`, 8-bit scalar
+  :class:`Int8Codec` (4x smaller) and product-quantization
+  :class:`PQCodec` (16x smaller at d=128, m=32), each scoring through
+  asymmetric-distance (ADC) lookups instead of decoding the matrix;
 * :mod:`repro.serving.index` — the registry-pluggable index family
   behind one ``topk(queries, k)`` API: exact :class:`BruteForceIndex`
-  (batched BLAS + argpartition) and approximate :class:`IVFIndex`
-  (k-means coarse quantizer with ``nprobe`` recall/cost dial);
+  (batched BLAS + argpartition, ADC scan on quantized stores) and
+  approximate :class:`IVFIndex` (k-means coarse quantizer with
+  ``nprobe`` recall/cost dial; IVFADC over PQ stores);
 * :mod:`repro.serving.service` — :class:`QueryService`, the batching
   front-end with an LRU result cache and latency/throughput counters.
 
 Entry points: ``UniNet.serve()``, a ``serving:`` block in ``RunSpec``,
-and the ``export-store`` / ``query`` CLI verbs.
+and the ``export-store --codec`` / ``query`` CLI verbs.
 """
 
+from repro.serving.codec import (
+    CODEC_REGISTRY,
+    Codec,
+    Float32Codec,
+    Int8Codec,
+    PQCodec,
+    make_codec,
+    register_codec,
+)
 from repro.serving.index import (
     INDEX_REGISTRY,
     BruteForceIndex,
@@ -25,7 +41,7 @@ from repro.serving.index import (
     make_index,
     register_index,
 )
-from repro.serving.service import LRUCache, QueryService
+from repro.serving.service import LRUCache, QueryService, topk_overlap
 from repro.serving.store import EmbeddingStore
 
 __all__ = [
@@ -37,4 +53,12 @@ __all__ = [
     "INDEX_REGISTRY",
     "register_index",
     "make_index",
+    "CODEC_REGISTRY",
+    "Codec",
+    "Float32Codec",
+    "Int8Codec",
+    "PQCodec",
+    "register_codec",
+    "make_codec",
+    "topk_overlap",
 ]

@@ -27,6 +27,12 @@ Two built-ins cover the exact/approximate trade:
   and a query scores only the ``nprobe`` nearest cells, trading recall
   for a ~``nlist/nprobe``-fold reduction in scanned rows. At
   ``nprobe == nlist`` the scan is exhaustive and recall is exact.
+
+Both built-ins serve *quantized* stores (see :mod:`repro.serving.codec`)
+without decoding the matrix: scoring goes through the store codec's
+asymmetric-distance (ADC) path against the encoded rows, so the resident
+working set stays at the compressed size. IVF over a PQ store composes
+the classic IVFADC layout.
 """
 
 from __future__ import annotations
@@ -101,45 +107,70 @@ def _topk_rows(sims: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
 
 @register_index("bruteforce", aliases=("flat", "exact"), exact=True)
 class BruteForceIndex:
-    """Exact top-k by chunked dense matrix products.
+    """Exhaustive top-k by chunked dense scoring.
 
-    The store's unit matrix is materialised once (float32); each batch of
-    queries then costs one ``sgemm`` per ``query_chunk`` rows and an
-    O(n) ``argpartition`` per query — no per-key Python loop, which is
-    where the 10x-plus win over looped ``KeyedVectors.most_similar``
-    comes from.
+    On a float32 store the unit matrix is materialised once and each
+    batch of queries costs one ``sgemm`` per ``query_chunk`` rows plus
+    an O(n) ``argpartition`` per query — no per-key Python loop, which
+    is where the 10x-plus win over looped ``KeyedVectors.most_similar``
+    comes from. On a *quantized* store the scan stays exhaustive but
+    scores through the codec's ADC path against the encoded rows
+    (``row_chunk`` at a time), so the resident working set is the codes
+    — O(n·m) bytes — never a decoded float32 matrix.
     """
 
     name = "bruteforce"
 
-    def __init__(self, store, *, query_chunk: int = 1024):
+    def __init__(self, store, *, query_chunk: int = 1024, row_chunk: int = 65_536):
         if query_chunk < 1:
             raise ServingError("query_chunk must be >= 1")
+        if row_chunk < 1:
+            raise ServingError("row_chunk must be >= 1")
         self.store = store
         self.query_chunk = int(query_chunk)
-        # shared with the store's cache; sgemm takes the transposed view
-        # at zero copy, so no second resident matrix
-        self._unit = store.unit_vectors()
+        self.row_chunk = int(row_chunk)
+        if store.is_quantized:
+            self._unit = None
+            self._inv_norms = 1.0 / np.maximum(
+                np.asarray(store.norms, dtype=np.float32), np.float32(1e-12)
+            )
+        else:
+            # shared with the store's cache; sgemm takes the transposed
+            # view at zero copy, so no second resident matrix
+            self._unit = store.unit_vectors()
+            self._inv_norms = None
 
     def topk(self, queries, k: int) -> tuple[np.ndarray, np.ndarray]:
         if k < 1:
             raise ServingError("k must be >= 1")
         q = _normalize_queries(queries)
         m = q.shape[0]
-        k = min(k, len(self.store))
+        n = len(self.store)
+        k = min(k, n)
         rows = np.empty((m, k), dtype=np.int64)
         scores = np.empty((m, k), dtype=np.float32)
         for lo in range(0, m, self.query_chunk):
             hi = min(lo + self.query_chunk, m)
-            sims = q[lo:hi] @ self._unit.T
+            if self._unit is not None:
+                sims = q[lo:hi] @ self._unit.T
+            else:
+                adc = self.store.codec.make_adc(q[lo:hi])
+                codes = self.store.codes
+                sims = np.empty((hi - lo, n), dtype=np.float32)
+                for rlo in range(0, n, self.row_chunk):
+                    rhi = min(rlo + self.row_chunk, n)
+                    sims[:, rlo:rhi] = adc(np.asarray(codes[rlo:rhi]))
+                sims *= self._inv_norms[None, :]
             r, s = _topk_rows(sims, k)
             rows[lo:hi] = r
             scores[lo:hi] = s
         return rows, scores
 
     def memory_bytes(self) -> int:
-        """Resident bytes of the materialised unit matrix."""
-        return self._unit.nbytes
+        """Resident bytes: unit matrix (float32) or codes + norms (quantized)."""
+        if self._unit is not None:
+            return self._unit.nbytes
+        return self.store.codes.nbytes + self._inv_norms.nbytes
 
 
 @register_index("ivf", aliases=("ivf-flat",), exact=False)
@@ -194,7 +225,7 @@ class IVFIndex:
 
     # ------------------------------------------------------------------
     def _unit_rows(self, rows: np.ndarray) -> np.ndarray:
-        v = np.asarray(self.store.vectors[rows], dtype=np.float32)
+        v = self.store.decode_rows(rows)
         norms = np.maximum(np.asarray(self.store.norms[rows]), np.float32(1e-12))
         return v / norms[:, None]
 
@@ -249,7 +280,9 @@ class IVFIndex:
         rows = np.full((m, k), -1, dtype=np.int64)
         scores = np.full((m, k), -np.inf, dtype=np.float32)
         offsets, list_rows = self._list_offsets, self._list_rows
-        vectors, norms = self.store.vectors, self.store.norms
+        codes, norms = self.store.codes, self.store.norms
+        quantized = self.store.is_quantized
+        codec = self.store.codec
         for i in range(m):
             cand = np.concatenate(
                 [list_rows[offsets[c] : offsets[c + 1]] for c in probe[i]]
@@ -257,7 +290,12 @@ class IVFIndex:
             if cand.size == 0:
                 continue
             cand.sort()  # sequential gather is kinder to mmap pages
-            sims = np.asarray(vectors[cand], dtype=np.float32) @ q[i]
+            if quantized:
+                # ADC: one q·centroid lookup table per subspace, gathered
+                # by code id — the candidate rows are never decoded
+                sims = codec.make_adc(q[i : i + 1])(np.asarray(codes[cand]))[0]
+            else:
+                sims = np.asarray(codes[cand], dtype=np.float32) @ q[i]
             sims /= np.maximum(np.asarray(norms[cand]), np.float32(1e-12))
             kk = min(k, cand.size)
             top, sc = _topk_rows(sims[None, :], kk)

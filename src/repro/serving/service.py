@@ -24,6 +24,22 @@ from repro.serving.index import make_index
 from repro.serving.store import EmbeddingStore
 
 
+def topk_overlap(reference, results) -> float:
+    """Mean top-k set overlap between two aligned batched-query results.
+
+    Both arguments are ``most_similar_batch``-shaped: one
+    ``[(key, score), ...]`` list per query. The score ignores ranks and
+    scores (a quantized path may reorder near-ties) and divides matched
+    keys by the reference sizes — the recall@k statistic every codec
+    recall probe, benchmark and regression test shares.
+    """
+    hits = sum(
+        len({key for key, __ in ref} & {key for key, __ in got})
+        for ref, got in zip(reference, results)
+    )
+    return hits / max(sum(len(ref) for ref in reference), 1)
+
+
 class LRUCache:
     """A bounded mapping evicting the least-recently-used entry."""
 
@@ -184,8 +200,9 @@ class QueryService:
             miss_keys = keys[miss_positions]
             rows = self.store.rows_for(miss_keys)
             # ask for one extra neighbour so dropping the query itself
-            # still leaves topn results
-            top_rows, top_scores = self.index.topk(self.store.vectors[rows], topn + 1)
+            # still leaves topn results; on a quantized store the query
+            # vectors are the codec reconstructions
+            top_rows, top_scores = self.index.topk(self.store.decode_rows(rows), topn + 1)
             for pos, row, r, s in zip(miss_positions, rows, top_rows, top_scores):
                 result = self._decode(int(row), r, s, topn)
                 results[pos] = result
@@ -217,8 +234,8 @@ class QueryService:
         rows_b = self.store.rows_for(b)
         if rows_a.shape != rows_b.shape:
             raise ServingError("similarity_batch needs aligned key arrays")
-        va = np.asarray(self.store.vectors[rows_a], dtype=np.float32)
-        vb = np.asarray(self.store.vectors[rows_b], dtype=np.float32)
+        va = self.store.decode_rows(rows_a)
+        vb = self.store.decode_rows(rows_b)
         denom = np.maximum(
             np.asarray(self.store.norms[rows_a]) * np.asarray(self.store.norms[rows_b]),
             np.float32(1e-12),
@@ -241,6 +258,8 @@ class QueryService:
         c["index"] = self.index_name
         c["store_count"] = len(self.store)
         c["store_dimensions"] = self.store.dimensions
+        c["codec"] = self.store.codec.name
+        c["store_bytes"] = int(self.store.nbytes)
         return c
 
     def reset_stats(self) -> None:

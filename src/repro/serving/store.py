@@ -8,41 +8,57 @@ through the page cache. :class:`EmbeddingStore` is that artifact — a
 single flat file laid out for ``np.memmap``:
 
 ====================  =======================================
-offset 0              8-byte magic ``UNINETES`` + version/dim/count header
+offset 0              8-byte magic ``UNINETES`` + version/dim/count/meta header
 64                    ``keys``     int64  ``(count,)``
-64-aligned            ``vectors``  float32 ``(count, dim)``
+64-aligned            ``codec``    serialized codec state (``meta_len`` bytes)
+64-aligned            ``codes``    codec-typed ``(count, code_width)``
 64-aligned            ``norms``    float32 ``(count,)`` (precomputed L2)
 ====================  =======================================
 
-Vectors are stored as float32 — half the bytes of the trainer's float64
-with no measurable retrieval-quality loss — and the row norms are
-precomputed at export time so cosine scoring never rescans the matrix.
-Sections start on 64-byte boundaries (cache-line/SIMD friendly).
+Since format version 2 the matrix section holds whatever the store's
+*codec* (:mod:`repro.serving.codec`) produces: float32 rows for the
+identity :class:`~repro.serving.codec.Float32Codec` (exactly the v1
+bytes), 8-bit levels for :class:`~repro.serving.codec.Int8Codec`, or
+``m`` uint8 centroid ids per row for
+:class:`~repro.serving.codec.PQCodec` — shrinking the dominant section
+from ``4·d`` to ``m`` bytes per vector. The codec's trained state
+(scales, codebooks) is serialized into its own header section so a store
+file stays self-describing; version-1 files (no codec section) still
+open as float32.
 
-A store opened with :meth:`EmbeddingStore.open` touches only the 64-byte
-header eagerly; keys, vectors and norms are memory-mapped and paged in on
-first access, so opening a multi-gigabyte store is O(1) and concurrent
-workers share one physical copy. The same class also wraps plain in-memory
-arrays (:meth:`from_keyed_vectors`), so every index and service works
-identically on both.
+Norms are always the L2 norms of the *original* float vectors, computed
+at encode time — cosine scoring divides approximate ADC dot products by
+exact norms, and a quantized store could not recompute them.
+
+A store opened with :meth:`EmbeddingStore.open` touches only the header
+and codec state eagerly; keys, codes and norms are memory-mapped and
+paged in on first access, so opening a multi-gigabyte store is O(1) and
+concurrent workers share one physical copy. The same class also wraps
+plain in-memory arrays (:meth:`from_keyed_vectors`), so every index and
+service works identically on both.
 """
 
 from __future__ import annotations
 
+import json
 import struct
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ServingError
+from repro.serving.codec import Float32Codec, resolve_codec
 
 _MAGIC = b"UNINETES"
-_VERSION = 1
+_VERSION = 2
 _HEADER_BYTES = 64
 _ALIGN = 64
-# magic, version (u32), dim (u32), count (u64); rest of the header is
-# reserved padding
-_HEADER_STRUCT = struct.Struct("<8sIIQ")
+# header: magic, version (u32), dim (u32), count (u64), meta_len (u64 —
+# byte length of the serialized-codec section, added in v2). v1 headers
+# stopped after count with zero padding, so unpacking them under this
+# struct reads meta_len == 0, which is exactly the float32 interpretation
+# open() applies to version-1 files.
+_HEADER_V2 = struct.Struct("<8sIIQQ")
 
 
 def _aligned(offset: int) -> int:
@@ -53,44 +69,121 @@ def _is_typed_mmap(arr, dtype) -> bool:
     return isinstance(arr, np.memmap) and arr.dtype == dtype
 
 
-def _layout(count: int, dim: int) -> tuple[int, int, int, int]:
-    """Section offsets ``(keys, vectors, norms, file_end)`` in bytes."""
+def _layout_v1(count: int, dim: int) -> tuple[int, int, int, int]:
+    """v1 section offsets ``(keys, vectors, norms, file_end)`` in bytes."""
     keys_off = _HEADER_BYTES
     vec_off = _aligned(keys_off + 8 * count)
     norm_off = _aligned(vec_off + 4 * count * dim)
     return keys_off, vec_off, norm_off, norm_off + 4 * count
 
 
+def _layout_v2(count: int, meta_len: int, code_itemsize: int, code_width: int):
+    """v2 section offsets ``(keys, meta, codes, norms, file_end)``."""
+    keys_off = _HEADER_BYTES
+    meta_off = _aligned(keys_off + 8 * count)
+    codes_off = _aligned(meta_off + meta_len)
+    norm_off = _aligned(codes_off + code_itemsize * code_width * count)
+    return keys_off, meta_off, codes_off, norm_off, norm_off + 4 * count
+
+
+def _pack_codec(codec) -> bytes:
+    """Serialize a trained codec: JSON manifest + raw array bytes.
+
+    Deliberately hand-rolled (not ``np.savez``) so identical codecs
+    always serialize to identical bytes — store files round-trip
+    bitwise through save/open/save.
+    """
+    arrays = {key: np.ascontiguousarray(value) for key, value in codec.state().items()}
+    manifest = {
+        "codec": codec.name,
+        "arrays": [[key, a.dtype.str, list(a.shape)] for key, a in arrays.items()],
+    }
+    head = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    return struct.pack("<I", len(head)) + head + b"".join(a.tobytes() for a in arrays.values())
+
+
+def _unpack_codec(blob: bytes):
+    """Rebuild the trained codec serialized by :func:`_pack_codec`."""
+    from repro.serving.codec import CODEC_REGISTRY
+
+    try:
+        (head_len,) = struct.unpack_from("<I", blob)
+        manifest = json.loads(blob[4 : 4 + head_len].decode("utf-8"))
+        if not isinstance(manifest, dict):
+            raise ValueError(f"manifest must be an object, got {type(manifest).__name__}")
+        name = manifest["codec"]
+        state = {}
+        offset = 4 + head_len
+        for key, dtype_str, shape in manifest["arrays"]:
+            dtype = np.dtype(dtype_str)
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            array = np.frombuffer(blob, dtype=dtype, count=count, offset=offset)
+            state[key] = array.reshape(shape).copy()
+            offset += array.nbytes
+    except (struct.error, TypeError, ValueError, KeyError, json.JSONDecodeError) as err:
+        raise ServingError(f"corrupt codec section in embedding store: {err}") from None
+    return CODEC_REGISTRY.get(name).from_state(state)
+
+
 class EmbeddingStore:
-    """Embedding matrix + keys + precomputed norms, servable as one unit.
+    """Keys + codec-encoded matrix + precomputed norms, servable as one unit.
 
     Parameters
     ----------
     keys:
-        int64 node ids aligned with ``vectors`` rows (plain array or
+        int64 node ids aligned with the matrix rows (plain array or
         memmap).
     vectors:
-        float32 matrix ``(len(keys), dim)``.
+        float32 matrix ``(len(keys), dim)`` to hold (and encode, when a
+        non-identity ``codec`` is given). Mutually exclusive with
+        ``codes``.
     norms:
-        float32 per-row L2 norms; computed when omitted.
+        float32 per-row L2 norms of the *original* vectors; computed
+        when omitted (from ``vectors``, or by decoding ``codes``).
+    codec:
+        a :class:`~repro.serving.codec.Codec` instance or registry name
+        (default ``"float32"``). An untrained codec is fitted on
+        ``vectors``.
+    codes:
+        pre-encoded matrix ``(len(keys), codec.code_width)`` — the
+        open-from-file path; requires a trained ``codec``.
     path:
         the backing file when the store is memory-mapped (``None`` for
         in-memory stores).
     """
 
-    def __init__(self, keys, vectors, norms=None, *, path=None):
+    def __init__(self, keys, vectors=None, norms=None, *, codec=None, codes=None, path=None):
         # np.asarray would strip the np.memmap subclass; keep it so the
         # backing of an opened store stays observable
         self.keys = keys if _is_typed_mmap(keys, np.int64) else np.asarray(keys, dtype=np.int64)
-        self.vectors = (
-            vectors
-            if _is_typed_mmap(vectors, np.float32)
-            else np.asarray(vectors, dtype=np.float32)
-        )
-        if self.vectors.ndim != 2 or self.vectors.shape[0] != self.keys.size:
-            raise ServingError("vectors must be a matrix aligned with keys")
+        if (vectors is None) == (codes is None):
+            raise ServingError("EmbeddingStore needs exactly one of vectors= or codes=")
+        if codes is not None:
+            self.codec = resolve_codec(codec)
+            if not self.codec.trained:
+                raise ServingError("codes= needs a trained codec")
+            self.codes = codes
+        else:
+            if not (
+                _is_typed_mmap(vectors, np.float32)
+                or (isinstance(vectors, np.ndarray) and vectors.dtype == np.float32)
+            ):
+                vectors = np.asarray(vectors, dtype=np.float32)
+            if vectors.ndim != 2 or vectors.shape[0] != self.keys.size:
+                raise ServingError("vectors must be a matrix aligned with keys")
+            self.codec = resolve_codec(codec)
+            if not self.codec.trained:
+                self.codec.fit(vectors)
+            if norms is None:
+                norms = np.linalg.norm(vectors, axis=1)
+            self.codes = self.codec.encode(vectors)
+        if self.codes.ndim != 2 or self.codes.shape != (self.keys.size, self.codec.code_width):
+            raise ServingError(
+                f"codes must be ({self.keys.size}, {self.codec.code_width}), "
+                f"got {self.codes.shape}"
+            )
         if norms is None:
-            norms = np.linalg.norm(self.vectors, axis=1)
+            norms = np.linalg.norm(self.decode_all(), axis=1)
         self.norms = norms if _is_typed_mmap(norms, np.float32) else np.asarray(norms, dtype=np.float32)
         if self.norms.shape != (self.keys.size,):
             raise ServingError("norms must have one entry per key")
@@ -101,8 +194,29 @@ class EmbeddingStore:
     # ------------------------------------------------------------------
     @property
     def dimensions(self) -> int:
-        """Embedding dimensionality."""
-        return self.vectors.shape[1]
+        """Embedding dimensionality (of the decoded vectors)."""
+        return int(self.codec.dim)
+
+    @property
+    def is_quantized(self) -> bool:
+        """True when the matrix section holds compressed codes."""
+        return not self.codec.is_identity
+
+    @property
+    def vectors(self):
+        """The float32 matrix — only on unquantized stores.
+
+        A quantized store never materialises its decoded matrix
+        implicitly; use :meth:`decode_rows` / :meth:`decode_all` (or
+        score through the codec's ADC path like the built-in indexes).
+        """
+        if not self.is_quantized:
+            return self.codes
+        raise ServingError(
+            f"store is quantized (codec {self.codec.name!r}) and holds no "
+            "float32 matrix; use decode_rows()/decode_all() or score via "
+            "codec.make_adc()"
+        )
 
     def __len__(self) -> int:
         return self.keys.size
@@ -113,8 +227,8 @@ class EmbeddingStore:
 
     @property
     def nbytes(self) -> int:
-        """Bytes of the three data sections (excluding the header)."""
-        return self.keys.nbytes + self.vectors.nbytes + self.norms.nbytes
+        """Bytes of the three data sections (excluding header + codec state)."""
+        return self.keys.nbytes + self.codes.nbytes + self.norms.nbytes
 
     # ------------------------------------------------------------------
     def _lookup(self) -> np.ndarray:
@@ -126,35 +240,57 @@ class EmbeddingStore:
             self._row_of = table
         return self._row_of
 
+    def _rows_or_missing(self, keys: np.ndarray) -> np.ndarray:
+        """Row of each key, ``-1`` where the key is not in the store."""
+        table = self._lookup()
+        if table.size == 0:
+            return np.full(keys.shape, -1, dtype=np.int64)
+        safe = np.clip(keys, 0, table.size - 1)
+        return np.where(keys == safe, table[safe], -1)
+
     def rows_for(self, keys) -> np.ndarray:
         """Store rows of ``keys`` (vectorized); unknown ids raise."""
         keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
-        table = self._lookup()
-        if table.size == 0:
-            rows = np.full(keys.shape, -1, dtype=np.int64)
-        else:
-            safe = np.clip(keys, 0, table.size - 1)
-            rows = np.where(keys == safe, table[safe], -1)
+        rows = self._rows_or_missing(keys)
         if np.any(rows < 0):
             bad = int(keys[np.flatnonzero(rows < 0)[0]])
             raise ServingError(f"key {bad} is not in the store")
         return rows
 
     def vector(self, key: int) -> np.ndarray:
-        """Embedding of one node id."""
-        return self.vectors[int(self.rows_for(key)[0])]
+        """Embedding of one node id (decoded on quantized stores)."""
+        return self.decode_rows(self.rows_for(key))[0]
+
+    def decode_rows(self, rows) -> np.ndarray:
+        """Float32 vectors of the given store rows.
+
+        On an unquantized store this is a plain (copying) row gather; on
+        a quantized one the codec reconstructs the rows — O(len(rows))
+        work and memory, never the whole matrix.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if not self.is_quantized:
+            return np.asarray(self.codes[rows], dtype=np.float32)
+        return self.codec.decode(np.asarray(self.codes[rows]))
+
+    def decode_all(self) -> np.ndarray:
+        """The full decoded float32 matrix — materialises ``count x dim``."""
+        if not self.is_quantized:
+            return np.asarray(self.codes, dtype=np.float32)
+        return self.codec.decode(np.asarray(self.codes))
 
     def unit_vectors(self) -> np.ndarray:
-        """L2-normalised copy of the matrix (float32), cached.
+        """L2-normalised copy of the decoded matrix (float32), cached.
 
         This materialises ``count x dim`` floats in memory — the working
-        set an exact index needs anyway. Indexes that must stay
-        out-of-core (IVF) score against :attr:`vectors` / :attr:`norms`
-        directly instead.
+        set an exact float32 index needs anyway. Code that must stay at
+        the compressed footprint (quantized brute force, IVF) scores
+        through :meth:`~repro.serving.codec.Codec.make_adc` against
+        :attr:`codes` / :attr:`norms` instead.
         """
         if self._unit is None:
             norms = np.maximum(self.norms, np.float32(1e-12))
-            self._unit = np.ascontiguousarray(self.vectors / norms[:, None])
+            self._unit = np.ascontiguousarray(self.decode_all() / norms[:, None])
         return self._unit
 
     # ------------------------------------------------------------------
@@ -166,8 +302,12 @@ class EmbeddingStore:
         The read path of a live graph: after an incremental re-embedding
         the refreshed vectors land here without rewriting the whole
         store. Known keys have their rows (and norms) overwritten; new
-        keys append. Memory-mapped *read-only* stores refuse — reopen
-        with ``EmbeddingStore.open(path, mmap=False)``, upsert, then
+        keys append. On a *quantized* store the new vectors are
+        re-encoded through the trained codec (codebooks and scales are
+        not re-trained, so values far outside the trained range clip) —
+        norms always come from the raw vectors. Memory-mapped
+        *read-only* stores refuse — reopen with
+        ``EmbeddingStore.open(path, mmap=False)``, upsert, then
         :meth:`save` (appending cannot grow a fixed-size mapping).
 
         Returns ``{"updated": ..., "inserted": ...}``. Indexes built
@@ -185,23 +325,22 @@ class EmbeddingStore:
             )
         if keys.size != np.unique(keys).size:
             raise ServingError("upsert keys must be unique")
-        if isinstance(self.vectors, np.memmap) and not self.vectors.flags.writeable:
+        if isinstance(self.codes, np.memmap) and not self.codes.flags.writeable:
             raise ServingError(
                 "cannot upsert into a read-only memory-mapped store; reopen "
                 "with EmbeddingStore.open(path, mmap=False), upsert, then save()"
             )
-        table = self._lookup()
-        safe = np.clip(keys, 0, max(table.size - 1, 0))
-        rows = np.where((keys < table.size) & (keys >= 0), table[safe] if table.size else -1, -1)
+        rows = self._rows_or_missing(keys)
         known = rows >= 0
         norms = np.linalg.norm(vectors, axis=1).astype(np.float32)
+        codes = self.codec.encode(vectors)
         if known.any():
-            self.vectors[rows[known]] = vectors[known]
+            self.codes[rows[known]] = codes[known]
             self.norms[rows[known]] = norms[known]
         inserted = int((~known).sum())
         if inserted:
             self.keys = np.concatenate([np.asarray(self.keys), keys[~known]])
-            self.vectors = np.concatenate([np.asarray(self.vectors), vectors[~known]])
+            self.codes = np.concatenate([np.asarray(self.codes), codes[~known]])
             self.norms = np.concatenate([np.asarray(self.norms), norms[~known]])
         # lookup table and unit-matrix cache are now stale
         self._row_of = None
@@ -212,42 +351,94 @@ class EmbeddingStore:
     # conversions
     # ------------------------------------------------------------------
     @classmethod
-    def from_keyed_vectors(cls, kv) -> "EmbeddingStore":
-        """In-memory store from a trained :class:`KeyedVectors`."""
-        return cls(kv.keys, np.asarray(kv.vectors, dtype=np.float32))
+    def from_keyed_vectors(cls, kv, *, codec=None, **codec_params) -> "EmbeddingStore":
+        """In-memory store from a trained :class:`KeyedVectors`.
+
+        ``codec`` (registry name or instance; default float32) selects
+        the compression; an untrained codec is fitted on the vectors and
+        ``codec_params`` go to its constructor (``m``, ``k``, ...).
+        """
+        return cls(
+            kv.keys,
+            np.asarray(kv.vectors, dtype=np.float32),
+            codec=resolve_codec(codec, **codec_params),
+        )
 
     def to_keyed_vectors(self):
-        """Materialise back into an in-memory :class:`KeyedVectors`."""
+        """Materialise back into an in-memory :class:`KeyedVectors`.
+
+        On a quantized store this reconstructs through the codec, so the
+        result carries the quantization error.
+        """
         from repro.embedding.keyed_vectors import KeyedVectors
 
-        return KeyedVectors(np.asarray(self.keys).copy(), np.asarray(self.vectors, dtype=np.float64))
+        return KeyedVectors(
+            np.asarray(self.keys).copy(), self.decode_all().astype(np.float64)
+        )
+
+    def recode(self, codec, **codec_params) -> "EmbeddingStore":
+        """A new in-memory store holding the same rows under ``codec``.
+
+        The float32 -> quantized export step: decodes this store (exact
+        when it is unquantized), fits the target codec when untrained,
+        and re-encodes. Keys and norms carry over; recoding an already
+        quantized store compounds its error (decode first by design).
+        """
+        codec = resolve_codec(codec, **codec_params)
+        vectors = self.decode_all()
+        if not codec.trained:
+            codec.fit(vectors)
+        return EmbeddingStore(
+            np.asarray(self.keys).copy(),
+            vectors,
+            norms=np.asarray(self.norms).copy(),
+            codec=codec,
+        )
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
     def save(self, path) -> Path:
-        """Write the store file; returns the path written."""
+        """Write the store file (format v2); returns the path written.
+
+        The write goes through a temporary sibling file and an atomic
+        rename, so saving *onto the store's own backing file* (the
+        open(mmap=False) → upsert → save cycle) can never truncate the
+        sections a memory-mapped store is still reading from, and a
+        crash mid-save leaves the previous file intact.
+        """
         path = Path(path)
-        count, dim = self.vectors.shape
-        keys_off, vec_off, norm_off, end = _layout(count, dim)
-        header = _HEADER_STRUCT.pack(_MAGIC, _VERSION, dim, count)
-        with open(path, "wb") as fh:
+        count = self.keys.size
+        meta = _pack_codec(self.codec)
+        itemsize = np.dtype(self.codec.code_dtype).itemsize
+        keys_off, meta_off, codes_off, norm_off, end = _layout_v2(
+            count, len(meta), itemsize, self.codec.code_width
+        )
+        header = _HEADER_V2.pack(_MAGIC, _VERSION, self.dimensions, count, len(meta))
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
             fh.write(header.ljust(_HEADER_BYTES, b"\0"))
             fh.seek(keys_off)
             np.ascontiguousarray(self.keys).tofile(fh)
-            fh.seek(vec_off)
-            np.ascontiguousarray(self.vectors).tofile(fh)
+            fh.seek(meta_off)
+            fh.write(meta)
+            fh.seek(codes_off)
+            np.ascontiguousarray(self.codes).tofile(fh)
             fh.seek(norm_off)
             np.ascontiguousarray(self.norms).tofile(fh)
             fh.truncate(end)
+        tmp.replace(path)
         return path
 
     @classmethod
     def open(cls, path, *, mmap: bool = True) -> "EmbeddingStore":
         """Open a store file in O(1); data pages load on demand.
 
-        ``mmap=False`` reads the sections into plain arrays instead
-        (useful when the file is about to be deleted).
+        Both format versions open: v2 reconstructs the serialized codec
+        (so a quantized store round-trips as quantized), v1 files — the
+        pre-codec layout — load as float32. ``mmap=False`` reads the
+        sections into plain arrays instead (useful when the file is
+        about to be deleted, or to upsert + re-save).
         """
         path = Path(path)
         try:
@@ -255,36 +446,71 @@ class EmbeddingStore:
                 header = fh.read(_HEADER_BYTES)
         except OSError as err:
             raise ServingError(f"cannot open embedding store: {err}") from None
-        if len(header) < _HEADER_STRUCT.size:
+        if len(header) < _HEADER_V2.size:
             raise ServingError(f"{path} is too short to be an embedding store")
-        magic, version, dim, count = _HEADER_STRUCT.unpack_from(header)
+        magic, version, dim, count, meta_len = _HEADER_V2.unpack_from(header)
         if magic != _MAGIC:
             raise ServingError(
                 f"{path} is not an embedding store (bad magic {magic!r}); "
                 f"export one with 'python -m repro export-store'"
             )
-        if version != _VERSION:
-            raise ServingError(f"unsupported store version {version} (expected {_VERSION})")
-        keys_off, vec_off, norm_off, end = _layout(count, dim)
+        if version == 1:
+            codec = Float32Codec()
+            codec.dim = int(dim)
+            keys_off, codes_off, norm_off, end = _layout_v1(count, dim)
+        elif version == _VERSION:
+            meta_start = _aligned(_HEADER_BYTES + 8 * count)
+            if meta_start + meta_len > path.stat().st_size:
+                # guard before reading: a corrupt header could otherwise
+                # demand a multi-GB meta read
+                raise ServingError(
+                    f"{path} is truncated (codec section of {meta_len} bytes "
+                    f"does not fit the file)"
+                )
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(meta_start)
+                    codec = _unpack_codec(fh.read(meta_len))
+            except OSError as err:
+                raise ServingError(f"cannot open embedding store: {err}") from None
+            if int(codec.dim) != int(dim):
+                raise ServingError(
+                    f"{path} header dim {dim} disagrees with codec dim {codec.dim}"
+                )
+            itemsize = np.dtype(codec.code_dtype).itemsize
+            keys_off, __, codes_off, norm_off, end = _layout_v2(
+                count, meta_len, itemsize, codec.code_width
+            )
+        else:
+            raise ServingError(
+                f"unsupported store version {version} (expected <= {_VERSION})"
+            )
         if path.stat().st_size < end:
             raise ServingError(f"{path} is truncated ({path.stat().st_size} < {end} bytes)")
+        code_dtype = np.dtype(codec.code_dtype)
+        shape = (count, codec.code_width)
         if mmap:
             keys = np.memmap(path, dtype=np.int64, mode="r", offset=keys_off, shape=(count,))
-            vectors = np.memmap(path, dtype=np.float32, mode="r", offset=vec_off, shape=(count, dim))
+            codes = np.memmap(path, dtype=code_dtype, mode="r", offset=codes_off, shape=shape)
             norms = np.memmap(path, dtype=np.float32, mode="r", offset=norm_off, shape=(count,))
         else:
             with open(path, "rb") as fh:
                 fh.seek(keys_off)
                 keys = np.fromfile(fh, dtype=np.int64, count=count)
-                fh.seek(vec_off)
-                vectors = np.fromfile(fh, dtype=np.float32, count=count * dim).reshape(count, dim)
+                fh.seek(codes_off)
+                codes = np.fromfile(fh, dtype=code_dtype, count=count * codec.code_width)
+                codes = codes.reshape(shape)
                 fh.seek(norm_off)
                 norms = np.fromfile(fh, dtype=np.float32, count=count)
-        return cls(keys, vectors, norms, path=path)
+        return cls(keys, norms=norms, codec=codec, codes=codes, path=path)
 
     def __repr__(self) -> str:
-        backing = "mmap" if isinstance(self.vectors, np.memmap) else "memory"
+        backing = "mmap" if isinstance(self.codes, np.memmap) else "memory"
+        codec = "" if not self.is_quantized else f", codec={self.codec.name!r}"
         return (
             f"EmbeddingStore(count={len(self)}, dimensions={self.dimensions}, "
-            f"{backing}{'' if self.path is None else f', path={str(self.path)!r}'})"
+            f"{backing}{codec}{'' if self.path is None else f', path={str(self.path)!r}'})"
         )
+
+
+__all__ = ["EmbeddingStore"]

@@ -254,3 +254,69 @@ class TestMutatedGraphDistribution:
         expected = old_deg / old_deg.sum() * obs.sum()
         __, p = stats.chisquare(obs, expected)
         assert p < ALPHA
+
+
+class TestQuantizedDynamicServing:
+    """The dynamic path composed with the codec path stays faithful.
+
+    PR 4's contract is that ``update()`` + ``refresh_embeddings()``
+    produces embeddings equivalent to a retrain; PR 5's is that a
+    quantized export preserves the similarity structure. This check ties
+    them together: after a delta + incremental refresh, the top-k
+    neighbour sets served from int8/PQ re-exports must overlap the
+    float32 read path above fixed-seed floors (generous slack — the
+    draws are deterministic, so a failure is a decisive codec or
+    dynamic-path defect, not noise).
+    """
+
+    def _refreshed_net(self):
+        from repro import UniNet
+        from repro.graph.delta import GraphDelta
+
+        graph = generators.chung_lu_power_law(300, 8.0, seed=11, weight_mode="uniform")
+        net = UniNet(graph, model="deepwalk", sampler="mh", seed=13)
+        net.train(num_walks=6, walk_length=20, dimensions=32, negative_sharing=True)
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, graph.num_nodes, size=12)
+        dst = rng.integers(0, graph.num_nodes, size=12)
+        keep = src != dst
+        net.update(GraphDelta.add_edges(src[keep], dst[keep], symmetric=True))
+        net.refresh_embeddings(num_walks=2)
+        assert not net.embeddings_stale
+        return net
+
+    @staticmethod
+    def _overlap(a, b):
+        from repro.serving import topk_overlap
+
+        return topk_overlap(a, b)
+
+    def test_quantized_reexport_preserves_topk(self):
+        net = self._refreshed_net()
+        keys = np.asarray(net.last_embeddings.keys)
+        exact = net.serve(cache_size=0).most_similar_batch(keys, topn=10)
+
+        int8 = net.serve(codec="int8", cache_size=0)
+        assert int8.store.is_quantized
+        got = int8.most_similar_batch(keys, topn=10)
+        overlap = self._overlap(exact, got)
+        assert overlap >= 0.75, f"int8 top-10 overlap {overlap:.3f} after refresh"
+
+        pq = net.serve(codec="pq", codec_params={"m": 8, "seed": 0}, cache_size=0)
+        got = pq.most_similar_batch(keys, topn=10)
+        overlap = self._overlap(exact, got)
+        assert overlap >= 0.45, f"pq top-10 overlap {overlap:.3f} after refresh"
+
+    def test_power_shuffled_codes_destroy_overlap(self):
+        """Teeth: the same statistic rejects a store whose codes are
+        misassigned, so a vacuously-high floor cannot hide breakage."""
+        net = self._refreshed_net()
+        keys = np.asarray(net.last_embeddings.keys)
+        exact = net.serve(cache_size=0).most_similar_batch(keys, topn=10)
+        service = net.serve(codec="int8", cache_size=0)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(len(service.store))
+        service.store.codes = np.asarray(service.store.codes)[perm]
+        service.refresh()
+        got = service.most_similar_batch(keys, topn=10)
+        assert self._overlap(exact, got) < 0.3
