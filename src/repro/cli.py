@@ -393,6 +393,58 @@ def _cmd_update(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import AnalysisError, load_baseline, run_lint, save_baseline
+
+    root = Path.cwd()
+    baseline_path = Path(args.baseline) if args.baseline else None
+    baseline = None
+    try:
+        if baseline_path is not None and not args.update_baseline:
+            baseline = load_baseline(baseline_path)
+        report = run_lint(
+            args.paths, root=root,
+            select=args.select, ignore=args.ignore, baseline=baseline,
+        )
+    except AnalysisError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        if baseline_path is None:
+            print("error: --update-baseline needs --baseline PATH", file=sys.stderr)
+            return 2
+        save_baseline(baseline_path, report.findings)
+        print(f"baseline written to {baseline_path} ({len(report.findings)} finding(s))")
+        return 0
+    failed = report.failed(baseline_mode=baseline is not None)
+    if args.format == "json":
+        print(json.dumps({
+            "version": 1,
+            "files": report.files,
+            "rules": report.rules,
+            "findings": [f.to_json() for f in report.findings],
+            "baselined": len(report.baselined),
+            "parse_errors": [
+                {"path": path, "message": message}
+                for path, message in report.parse_errors
+            ],
+            "exit": 1 if failed else 0,
+        }, indent=2))
+        return 1 if failed else 0
+    for path, message in report.parse_errors:
+        print(f"{path}:1:1: PARSE error: cannot parse file: {message}")
+    for finding in report.findings:
+        print(finding.render())
+    new = " new" if baseline is not None else ""
+    print(
+        f"checked {report.files} file(s) with {len(report.rules)} rule(s): "
+        f"{len(report.findings)}{new} finding(s) "
+        f"({len(report.errors)} error(s), {len(report.warnings)} warning(s))"
+        + (f", {len(report.baselined)} baselined" if baseline is not None else "")
+    )
+    return 1 if failed else 0
+
+
 def _parse_override(item: str):
     """Parse a ``--set key=value`` item; values are JSON when possible."""
     key, sep, raw = item.partition("=")
@@ -591,6 +643,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     update.add_argument("--output", default="vectors.npz")
     update.set_defaults(func=_cmd_update)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST-based invariant checker (rules RPR001-RPR006)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    lint.add_argument(
+        "--select", action="append", default=[], metavar="RULE",
+        help="run only these rules (by code RPR00x or name; repeatable)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", default=[], metavar="RULE",
+        help="skip these rules (by code or name; repeatable)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline JSON of accepted findings; with it, ANY non-baselined "
+        "finding (warnings included) fails the lint",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline PATH from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json emits one machine-readable document)",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -372,7 +372,7 @@ def train_streaming_pipeline(
                             break
                         except queue.Full:
                             continue
-            except BaseException as err:  # surfaced on the consumer side
+            except BaseException as err:  # repro-lint: ignore[RPR004] — transported to and re-raised on the consumer side
                 producer_state["error"] = err
             finally:
                 stop.set()  # unblock anyone; mark end-of-stream

@@ -71,5 +71,21 @@ class SpecError(ReproError):
     """Raised for invalid declarative run specifications (RunSpec)."""
 
 
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid user-supplied arguments or configuration values.
+
+    Also a :class:`ValueError` so call sites migrated from ad-hoc
+    ``raise ValueError`` keep satisfying callers that catch the builtin.
+    """
+
+
 class ServingError(ReproError):
     """Raised for invalid embedding-store files or serving-time queries."""
+
+
+class SerializationError(ServingError, ValueError):
+    """Raised for corrupt, truncated, or version-incompatible on-disk data.
+
+    Also a :class:`ValueError` for backwards compatibility with callers
+    that catch the builtin around load paths.
+    """

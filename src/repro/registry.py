@@ -161,12 +161,17 @@ class Registry:
     def _ensure_home_loaded(self) -> None:
         if self._home_loaded:
             return
+        # mark loaded *before* importing so registrations performed by the
+        # home module's own body don't recurse back in here; roll the flag
+        # back (in finally, whatever the failure) if the import dies so a
+        # later lookup retries instead of serving a half-registered family
         self._home_loaded = True
+        imported = False
         try:
             import_module(self._home)
-        except Exception:
-            self._home_loaded = False
-            raise
+            imported = True
+        finally:
+            self._home_loaded = imported
 
     def canonical(self, name: str) -> str:
         """Canonical name for ``name`` (which may be an alias)."""
@@ -324,7 +329,7 @@ def register_sampler(
                     factory=scalar,
                     **capabilities,
                 )
-            except Exception:
+            except ReproError:
                 # keep the two registries consistent: a scalar-side
                 # collision must not leave the vectorized half registered
                 SAMPLER_REGISTRY.unregister(name)

@@ -156,14 +156,16 @@ class FirstOrderAliasStore:
             return 0
         return self.threshold.nbytes + self.alias.nbytes
 
-    def on_delta(self, plan) -> dict:
+    def on_delta(self, plan, model=None) -> dict:
         """Re-layout the flat tables for a mutated graph.
 
         Untouched rows are *copied* (their distributions are unchanged —
         only their global offsets shifted); Vose construction reruns
         only for rows the delta touched. ``rebuild_cost_bytes`` counts
         the rebuilt table bytes, the cost a per-node-table sampler pays
-        per update and the M-H sampler does not.
+        per update and the M-H sampler does not. First-order tables
+        depend only on static weights, so ``model`` (accepted for the
+        canonical protocol) is ignored.
         """
         new_graph = plan.new_graph
         was_uniform = self.uniform

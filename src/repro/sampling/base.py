@@ -110,14 +110,17 @@ class EdgeSampler(abc.ABC):
     # ------------------------------------------------------------------
     # graph mutation
     # ------------------------------------------------------------------
-    def on_delta(self, graph, delta=None, *, model=None) -> dict:
+    def on_delta(self, plan, model=None) -> dict:
         """Refresh this sampler's persistent state across a graph delta.
 
-        Call as ``on_delta(plan)`` with a prebuilt
-        :class:`~repro.graph.delta.DeltaPlan` (the cheap form when many
-        samplers share one delta) or ``on_delta(old_graph, delta)``.
-        ``model`` must be the walk model *already rebound* to the new
-        graph; samplers without per-state structures ignore it.
+        This is the canonical dynamic-update protocol (checked by lint
+        rule RPR003): every ``on_delta`` in the library answers to
+        ``on_delta(plan, model=None)``. ``plan`` is a prebuilt
+        :class:`~repro.graph.delta.DeltaPlan` — build one with
+        :func:`resolve_plan` / ``DeltaPlan.build`` when all you have is
+        ``(old_graph, delta)``. ``model`` must be the walk model
+        *already rebound* to the new graph; samplers without per-state
+        structures ignore it.
 
         Returns a cost report — ``rebuilt_nodes`` (node-level structures
         rebuilt), ``rebuild_cost_bytes`` (bytes of structures that had
@@ -128,8 +131,7 @@ class EdgeSampler(abc.ABC):
         with no persistent state (e.g. direct sampling): nothing to do,
         all-zero report.
         """
-        plan = resolve_plan(graph, delta)
-        info = self._refresh(plan, model)
+        info = self._refresh(resolve_plan(plan), model)
         self.stats.extra.update(info)
         return info
 

@@ -17,7 +17,7 @@ Per-entry costs (bytes) reflect this implementation's actual arrays:
 
 from __future__ import annotations
 
-from repro.errors import SimulatedOutOfMemoryError
+from repro.errors import ConfigError, SimulatedOutOfMemoryError
 
 ALIAS_ENTRY_BYTES = 16
 MH_STATE_BYTES = 8
@@ -34,7 +34,7 @@ class MemoryBudget:
 
     def __init__(self, budget_bytes: int):
         if budget_bytes <= 0:
-            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+            raise ConfigError(f"budget_bytes must be positive, got {budget_bytes}")
         self.budget_bytes = int(budget_bytes)
         self.used_bytes = 0
 
@@ -47,7 +47,7 @@ class MemoryBudget:
         """Reserve ``num_bytes``; raise SimulatedOutOfMemoryError if over."""
         num_bytes = int(num_bytes)
         if num_bytes < 0:
-            raise ValueError("cannot charge negative bytes")
+            raise ConfigError("cannot charge negative bytes")
         if self.used_bytes + num_bytes > self.budget_bytes:
             raise SimulatedOutOfMemoryError(
                 self.used_bytes + num_bytes, self.budget_bytes, what
@@ -114,4 +114,4 @@ def sampler_memory_estimate(kind: str, graph, model) -> int:
     if kind == "memory-aware":
         # by construction it adapts to whatever budget it is given
         return DIRECT_SAMPLER_BYTES
-    raise ValueError(f"unknown sampler kind {kind!r}")
+    raise ConfigError(f"unknown sampler kind {kind!r}")

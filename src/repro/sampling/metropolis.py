@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.sampling.base import NO_EDGE, EdgeSampler
 from repro.sampling.initialization import make_initializer
 from repro.sampling.memory_model import mh_bytes
@@ -51,7 +52,7 @@ class MetropolisHastingsSampler(EdgeSampler):
             # share chains with a vectorized engine (duck-typed ChainStore)
             self.last = chain_store.last
             if self.last.size != size:
-                raise ValueError("chain_store size does not match the model's state space")
+                raise ConfigError("chain_store size does not match the model's state space")
         else:
             if budget is not None:
                 budget.charge(mh_bytes(graph, model), self.name)

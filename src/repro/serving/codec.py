@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.errors import ServingError
 from repro.registry import Registry
+from repro.utils.rng import as_rng
 
 #: Vector codec classes ``(**params) -> codec``. The compression
 #: counterpart of ``INDEX_REGISTRY``.
@@ -385,7 +386,7 @@ class PQCodec(Codec):
             raise ServingError("cannot train the pq codec on an empty matrix")
         self.m = _largest_divisor_at_most(dim, self.m)
         ds = dim // self.m
-        rng = np.random.default_rng(self.seed)
+        rng = as_rng(self.seed)
         if n > self.train_sample:
             sample = x[np.sort(rng.choice(n, size=self.train_sample, replace=False))]
         else:

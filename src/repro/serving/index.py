@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.errors import ServingError
 from repro.registry import Registry
+from repro.utils.rng import as_rng
 
 #: ANN index factories ``(store, **params) -> index``. The serving
 #: counterpart of ``SAMPLER_REGISTRY``.
@@ -219,7 +220,7 @@ class IVFIndex:
         if nprobe < 1:
             raise ServingError("nprobe must be >= 1")
         self.nprobe = min(int(nprobe), self.nlist)
-        rng = np.random.default_rng(seed)
+        rng = as_rng(seed)
         self.centroids = self._train(rng, min(int(train_sample), n), int(iters))
         self._assign_all(int(assign_chunk))
 

@@ -46,7 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ServingError
+from repro.errors import SerializationError, ServingError
 from repro.serving.codec import Float32Codec, resolve_codec
 
 _MAGIC = b"UNINETES"
@@ -110,7 +110,7 @@ def _unpack_codec(blob: bytes):
         (head_len,) = struct.unpack_from("<I", blob)
         manifest = json.loads(blob[4 : 4 + head_len].decode("utf-8"))
         if not isinstance(manifest, dict):
-            raise ValueError(f"manifest must be an object, got {type(manifest).__name__}")
+            raise SerializationError(f"manifest must be an object, got {type(manifest).__name__}")
         name = manifest["codec"]
         state = {}
         offset = 4 + head_len
@@ -121,7 +121,7 @@ def _unpack_codec(blob: bytes):
             state[key] = array.reshape(shape).copy()
             offset += array.nbytes
     except (struct.error, TypeError, ValueError, KeyError, json.JSONDecodeError) as err:
-        raise ServingError(f"corrupt codec section in embedding store: {err}") from None
+        raise SerializationError(f"corrupt codec section in embedding store: {err}") from None
     return CODEC_REGISTRY.get(name).from_state(state)
 
 

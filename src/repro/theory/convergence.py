@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.utils.rng import as_rng
 
 _INITS = ("random", "high-weight", "burn-in")
@@ -24,7 +25,7 @@ def kl_divergence(p: np.ndarray, q: np.ndarray, *, epsilon: float = 1e-12) -> fl
     p = np.asarray(p, dtype=np.float64)
     q = np.asarray(q, dtype=np.float64)
     if p.shape != q.shape:
-        raise ValueError("p and q must have the same shape")
+        raise ConfigError("p and q must have the same shape")
     mask = p > 0
     return float(np.sum(p[mask] * np.log(p[mask] / np.maximum(q[mask], epsilon))))
 
@@ -97,7 +98,7 @@ def mh_chain_batch(
     ``return_samples=True``.
     """
     if init not in _INITS:
-        raise ValueError(f"init must be one of {_INITS}")
+        raise ConfigError(f"init must be one of {_INITS}")
     rng = as_rng(rng)
     targets = np.asarray(targets, dtype=np.float64)
     chains, n = targets.shape

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.utils.rng import as_rng
 
 
@@ -40,11 +41,11 @@ def make_target_distribution(
     5
     """
     if n < 2:
-        raise ValueError("n must be >= 2")
+        raise ConfigError("n must be >= 2")
     if not 1 <= t < n:
-        raise ValueError("t must satisfy 1 <= t < n")
+        raise ConfigError("t must satisfy 1 <= t < n")
     if ratio < 1.0:
-        raise ValueError("ratio must be >= 1")
+        raise ConfigError("ratio must be >= 1")
     rng = as_rng(rng)
     v_max = 1.0
     v_min = v_max / ratio

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 
 def as_rng(seed=None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
@@ -32,7 +34,7 @@ def spawn_rngs(seed, count: int) -> list[np.random.Generator]:
     ``Generator`` spawns from its internal bit generator seed sequence.
     """
     if count < 0:
-        raise ValueError(f"count must be >= 0, got {count}")
+        raise ConfigError(f"count must be >= 0, got {count}")
     if isinstance(seed, np.random.Generator):
         seq = seed.bit_generator.seed_seq
     elif isinstance(seed, np.random.SeedSequence):

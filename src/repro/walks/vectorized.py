@@ -29,7 +29,7 @@ import time
 
 import numpy as np
 
-from repro.errors import ReproError, WalkError
+from repro.errors import ReproError, SamplerError, WalkError
 from repro.registry import INITIALIZER_REGISTRY, SAMPLER_REGISTRY, SamplerContext
 from repro.sampling.alias import FirstOrderAliasStore, build_alias_table
 from repro.sampling.base import NO_EDGE
@@ -105,17 +105,22 @@ class StepperBase:
         """Resident bytes of the stepper's persistent structures."""
         return 0
 
-    def on_delta(self, plan) -> dict:
+    def on_delta(self, plan, model=None) -> dict:
         """Refresh persistent sampler state across an applied graph delta.
 
-        ``plan`` is a :class:`~repro.graph.delta.DeltaPlan`; the model
-        must already be rebound to ``plan.new_graph`` (the engine's
-        :meth:`VectorizedWalkEngine.apply_delta` guarantees the order).
-        Returns and accrues the refresh cost report
-        (``rebuilt_nodes`` / ``rebuild_cost_bytes`` /
-        ``invalidated_states``) that :meth:`stats` exposes.
+        Canonical ``on_delta(plan, model=None)`` protocol (lint rule
+        RPR003). ``plan`` is a :class:`~repro.graph.delta.DeltaPlan`;
+        the model must already be rebound to ``plan.new_graph`` (the
+        engine's :meth:`VectorizedWalkEngine.apply_delta` guarantees the
+        order). Steppers capture the model at construction, so passing
+        ``model`` here simply rebinds the reference first. Returns and
+        accrues the refresh cost report (``rebuilt_nodes`` /
+        ``rebuild_cost_bytes`` / ``invalidated_states``) that
+        :meth:`stats` exposes.
         """
         t0 = time.perf_counter()
+        if model is not None:
+            self.model = model
         info = self._refresh(plan)
         self.graph = plan.new_graph
         self.rebuilt_nodes += int(info.get("rebuilt_nodes", 0))
@@ -263,15 +268,22 @@ class EagerStateAliasTables:
             built += 1
         return built
 
-    def on_delta(self, plan, model, state_mask=None) -> dict:
+    def on_delta(self, plan, model=None, *, state_mask=None) -> dict:
         """Re-layout for a mutated graph, rebuilding only affected states.
 
         A state is affected when the delta touched the out-row it draws
         from or (for second-order models) its predecessor's row; every
         other surviving state's table is byte-copied into the new layout
         (``alias_local`` is row-local, so copied tables need no
-        rebasing). ``model`` must already be rebound to the new graph.
+        rebasing). ``model`` must already be rebound to the new graph;
+        unlike stateless steppers this structure cannot refresh without
+        one, so omitting it raises.
         """
+        if model is None:
+            raise SamplerError(
+                "EagerStateAliasTables.on_delta needs the rebound model to "
+                "rebuild affected per-state tables"
+            )
         old_graph = self.graph
         old_base, old_thresh = self.base, self.threshold
         old_alias, old_has, old_deg = self.alias_local, self.has_table, self.table_deg
