@@ -17,6 +17,11 @@ same way the paper's hardware was: between the rejection footprint of the
 two graphs, above M-H's for both.
 """
 
+import json
+import math
+import os
+
+import numpy as np
 import pytest
 
 from repro.core.config import WalkConfig
@@ -24,9 +29,11 @@ from repro.core.pipeline import generate_walks
 from repro.errors import SimulatedOutOfMemoryError
 from repro.graph import datasets
 from repro.sampling.memory_model import MemoryBudget, rejection_bytes, sampler_memory_estimate
+from repro.walks.kernels import available_backends
 from repro.walks.models import make_model
+from repro.walks.vectorized import VectorizedWalkEngine
 
-from _common import record_table, run_once
+from _common import RESULTS_DIR, record_table, run_once, timed
 
 PQ_CONFIGS = [(1.0, 0.25), (0.25, 1.0), (1.0, 1.0), (1.0, 4.0), (4.0, 1.0)]
 SAMPLERS = [
@@ -114,3 +121,157 @@ def test_table7_scalability(benchmark, networks, server_budget_bytes, network):
     assert all(isinstance(v, float) for v in mh_times)
     # M-H stability across (p, q): spread well below rejection's
     assert max(mh_times) / min(mh_times) < 2.5
+
+
+# ---------------------------------------------------------------------------
+# Compiled walk kernels: walks/sec, NumPy vs compiled, BENCH_walks.json
+# ---------------------------------------------------------------------------
+#
+# The kernel throughput record behind the backend knob: every sampler with
+# a compiled hot loop, on both Table VII networks, timed under the NumPy
+# reference and the best available compiled backend with the *same seed* —
+# the corpora are asserted bitwise-identical before any speedup is
+# reported. Results go to ``benchmarks/results/BENCH_walks.json`` (one run
+# record per (scale, backend); re-runs at the same scale replace their
+# record, so the file accumulates the perf trajectory across machines and
+# scales instead of churning).
+#
+# No pytest-benchmark dependency: the CI kernels-smoke job runs this test
+# with plain pytest at toy scale (``BENCH_WALKS_SCALE=0.02``). The
+# headline floor — compiled mh-weight >= 5x NumPy walks/sec on the largest
+# network — is asserted only at record scale (>= 0.3), where kernel time
+# dominates; override with ``REPRO_BENCH_MIN_SPEEDUP``.
+
+KERNEL_SCALE = float(os.environ.get("BENCH_WALKS_SCALE", "0.3"))
+KERNEL_REPEATS = int(os.environ.get("BENCH_WALKS_REPEATS", "3"))
+KERNEL_P, KERNEL_Q = 0.25, 4.0
+#: samplers whose step loop has a compiled path and whose tables fit at
+#: bench scale (alias is the per-state-table OOM row; memory-aware only
+#: exists relative to a MemoryBudget)
+KERNEL_SAMPLERS = [
+    (name, options) for name, options in SAMPLERS
+    if name not in ("alias", "memory-aware")
+]
+
+
+def _kernel_run(graph, sampler_name, options, backend):
+    """Best-of-``KERNEL_REPEATS`` walk time; engine build (table prep and
+    kernel compilation) stays outside the timed region, matching the
+    ``compile_seconds`` bookkeeping in the engine stats."""
+    best, corpus, stats = math.inf, None, None
+    for __ in range(KERNEL_REPEATS):
+        engine = VectorizedWalkEngine(
+            graph,
+            "node2vec",
+            sampler=options.get("sampler", sampler_name),
+            initializer=options.get("initializer", "high-weight"),
+            seed=8,
+            backend=backend,
+            p=KERNEL_P,
+            q=KERNEL_Q,
+        )
+        corpus, seconds = timed(
+            engine.generate, num_walks=NUM_WALKS, walk_length=WALK_LENGTH
+        )
+        best = min(best, seconds)
+        stats = engine.stats()
+        del engine
+    return corpus, best, stats
+
+
+def _record_bench_walks(record):
+    """Merge one run record into BENCH_walks.json (the perf trajectory)."""
+    path = RESULTS_DIR / "BENCH_walks.json"
+    runs = []
+    if path.exists():
+        runs = json.loads(path.read_text()).get("runs", [])
+    key = (record["scale"], record["backend"])
+    runs = [r for r in runs if (r["scale"], r["backend"]) != key]
+    runs.append(record)
+    runs.sort(key=lambda r: (r["scale"], r["backend"]))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path.write_text(json.dumps({"bench": "compiled_walk_kernels",
+                                "schema_version": 1,
+                                "runs": runs}, indent=2) + "\n")
+    print(f"[written to {path}]")
+
+
+def test_kernel_walk_throughput():
+    compiled = sorted(
+        name for name, ok in available_backends().items()
+        if ok and name != "numpy"
+    )
+    if not compiled:
+        pytest.skip("no compiled kernel backend available")
+    backend = "cnative" if "cnative" in compiled else compiled[0]
+    default_floor = "5.0" if KERNEL_SCALE >= 0.3 else "0.0"
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", default_floor))
+
+    graphs = {
+        name: datasets.load_graph(name, scale=KERNEL_SCALE, seed=7,
+                                  weight_mode="uniform")
+        for name in ("twitter", "web-uk")
+    }
+    largest = max(graphs, key=lambda n: graphs[n].num_edge_entries)
+
+    entries, rows = [], []
+    for network, graph in graphs.items():
+        num_walks_total = graph.num_nodes * NUM_WALKS
+        for sampler_name, options in KERNEL_SAMPLERS:
+            ref, ref_seconds, __ = _kernel_run(graph, sampler_name, options, "numpy")
+            got, got_seconds, stats = _kernel_run(graph, sampler_name, options, backend)
+            np.testing.assert_array_equal(ref.walks, got.walks)
+            np.testing.assert_array_equal(ref.lengths, got.lengths)
+            speedup = ref_seconds / got_seconds
+            entries.append({
+                "network": network,
+                "num_nodes": int(graph.num_nodes),
+                "num_edges": int(graph.num_edge_entries),
+                "sampler": sampler_name,
+                "numpy_seconds": round(ref_seconds, 4),
+                "compiled_seconds": round(got_seconds, 4),
+                "numpy_walks_per_sec": round(num_walks_total / ref_seconds, 1),
+                "compiled_walks_per_sec": round(num_walks_total / got_seconds, 1),
+                "speedup": round(speedup, 2),
+                "compile_seconds": round(stats["compile_seconds"], 4),
+                "identical_corpus": True,
+            })
+            rows.append({
+                "network": network,
+                "sampler": sampler_name,
+                "numpy (s)": round(ref_seconds, 3),
+                f"{backend} (s)": round(got_seconds, 3),
+                "speedup": f"{speedup:.2f}x",
+            })
+
+    headline = max(
+        (e for e in entries
+         if e["network"] == largest and e["sampler"] == "mh-weight"),
+        key=lambda e: e["speedup"],
+    )
+    record = {
+        "scale": KERNEL_SCALE,
+        "backend": backend,
+        "num_walks": NUM_WALKS,
+        "walk_length": WALK_LENGTH,
+        "p": KERNEL_P,
+        "q": KERNEL_Q,
+        "seed": 8,
+        "repeats": KERNEL_REPEATS,
+        "entries": entries,
+        "headline": {
+            "network": headline["network"],
+            "sampler": headline["sampler"],
+            "speedup": headline["speedup"],
+            "min_required": min_speedup,
+        },
+    }
+    _record_bench_walks(record)
+    record_table(
+        "table7_kernels",
+        ["network", "sampler", "numpy (s)", f"{backend} (s)", "speedup"],
+        rows,
+        title=(f"Compiled walk kernels ({backend}) vs NumPy: node2vec "
+               f"(p={KERNEL_P:g}, q={KERNEL_Q:g}), bitwise-identical corpora"),
+    )
+    assert headline["speedup"] >= min_speedup, record["headline"]

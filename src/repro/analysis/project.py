@@ -520,10 +520,23 @@ def relpath_matches(relpath: str, suffixes: tuple[str, ...]) -> bool:
     scoped to ``"serving/store.py"`` fires on
     ``src/repro/serving/store.py`` and on a fixture's
     ``serving/store.py`` but not on ``notserving/store.py``.
+
+    An entry ending in ``"/"`` scopes a whole package: ``"walks/kernels/"``
+    fires on every module whose *directory* path contains those
+    components in order (``src/repro/walks/kernels/numpy_backend.py``),
+    which plain suffix matching cannot express — the filename always
+    occupies the final components.
     """
     parts = PurePosixPath(relpath).parts
+    dirs = parts[:-1]
     for suffix in suffixes:
         want = PurePosixPath(suffix).parts
-        if len(parts) >= len(want) and parts[-len(want):] == want:
+        if suffix.endswith("/"):
+            if any(
+                dirs[i : i + len(want)] == want
+                for i in range(len(dirs) - len(want) + 1)
+            ):
+                return True
+        elif len(parts) >= len(want) and parts[-len(want):] == want:
             return True
     return False

@@ -100,6 +100,11 @@ def _add_walk_args(parser):
     parser.add_argument("--initializer", default="high-weight", help="M-H init strategy")
     parser.add_argument("--num-walks", type=int, default=10)
     parser.add_argument("--walk-length", type=int, default=80)
+    parser.add_argument(
+        "--kernel-backend", default="numpy", metavar="NAME",
+        help="walk step kernels: numpy (portable), numba (JIT) or "
+        "cnative (C, needs a compiler)",
+    )
     for pname, pspec in sorted(_cli_param_specs().items()):
         parser.add_argument(
             f"--{pname}",
@@ -157,7 +162,7 @@ def _cmd_walk(args) -> int:
     graph, __ = _load_graph(args)
     net = UniNet(
         graph, model=args.model, sampler=args.sampler, initializer=args.initializer,
-        seed=args.seed, **_model_params(args),
+        backend=args.kernel_backend, seed=args.seed, **_model_params(args),
     )
     corpus = net.generate_walks(args.num_walks, args.walk_length)
     corpus.save_npz(args.output)
@@ -196,7 +201,7 @@ def _cmd_train(args) -> int:
     graph, __ = _load_graph(args)
     net = UniNet(
         graph, model=args.model, sampler=args.sampler, initializer=args.initializer,
-        seed=args.seed, **_model_params(args),
+        backend=args.kernel_backend, seed=args.seed, **_model_params(args),
     )
     result = net.train(
         num_walks=args.num_walks,
@@ -227,7 +232,7 @@ def _cmd_classify(args) -> int:
         return 2
     net = UniNet(
         graph, model=args.model, sampler=args.sampler, initializer=args.initializer,
-        seed=args.seed, **_model_params(args),
+        backend=args.kernel_backend, seed=args.seed, **_model_params(args),
     )
     result = net.train(
         num_walks=args.num_walks,
@@ -346,7 +351,7 @@ def _cmd_update(args) -> int:
     graph, __ = _load_graph(args)
     net = UniNet(
         graph, model=args.model, sampler=args.sampler, initializer=args.initializer,
-        seed=args.seed, **_model_params(args),
+        backend=args.kernel_backend, seed=args.seed, **_model_params(args),
     )
     result = net.train(
         num_walks=args.num_walks,

@@ -14,13 +14,17 @@ class WalkConfig:
     ``walk_length`` counts nodes per sequence — the paper's default
     workload is 10 walks of length 80 per node.
 
-    ``sampler`` and ``initializer`` names are validated eagerly against
-    :data:`repro.registry.SAMPLER_REGISTRY` and
-    :data:`repro.registry.INITIALIZER_REGISTRY` and normalised to their
+    ``sampler``, ``initializer`` and ``backend`` names are validated
+    eagerly against :data:`repro.registry.SAMPLER_REGISTRY`,
+    :data:`repro.registry.INITIALIZER_REGISTRY` and
+    :data:`repro.registry.KERNEL_REGISTRY` and normalised to their
     canonical spelling (``"metropolis-hastings"`` -> ``"mh"``,
-    ``"burnin"`` -> ``"burn-in"``), so a typo fails at config time with
-    the registered names, not mid-pipeline. Unknown names raise
-    :class:`~repro.errors.WalkError`.
+    ``"burnin"`` -> ``"burn-in"``, ``"jit"`` -> ``"numba"``), so a typo
+    fails at config time with the registered names, not mid-pipeline.
+    Unknown names raise :class:`~repro.errors.WalkError`. Whether the
+    backend's *dependency* is present is checked when the engine is
+    built (:class:`~repro.errors.ConfigError`), not here — a config can
+    be authored on a machine that lacks the compiler that will run it.
     """
 
     num_walks: int = 10
@@ -31,10 +35,15 @@ class WalkConfig:
     burn_in_iterations: int = 100
     table_budget_bytes: int | None = None
     max_reject_rounds: int = 10_000
+    backend: str = "numpy"
 
     def __post_init__(self):
         from repro.errors import ReproError
-        from repro.registry import INITIALIZER_REGISTRY, SAMPLER_REGISTRY
+        from repro.registry import (
+            INITIALIZER_REGISTRY,
+            KERNEL_REGISTRY,
+            SAMPLER_REGISTRY,
+        )
 
         if self.num_walks < 1:
             raise WalkError("num_walks must be >= 1")
@@ -45,6 +54,8 @@ class WalkConfig:
                 self.sampler = SAMPLER_REGISTRY.canonical(self.sampler)
             if isinstance(self.initializer, str):
                 self.initializer = INITIALIZER_REGISTRY.canonical(self.initializer)
+            if isinstance(self.backend, str):
+                self.backend = KERNEL_REGISTRY.canonical(self.backend)
         except ReproError as err:
             raise WalkError(str(err)) from None
 

@@ -147,6 +147,7 @@ def generate_walk_result(
         burn_in_iterations=walk_config.burn_in_iterations,
         table_budget_bytes=walk_config.table_budget_bytes,
         max_reject_rounds=walk_config.max_reject_rounds,
+        backend=walk_config.backend,
         budget=budget,
         seed=seed,
     )
@@ -275,6 +276,7 @@ def train_streaming_pipeline(
             burn_in_iterations=walk_config.burn_in_iterations,
             table_budget_bytes=walk_config.table_budget_bytes,
             max_reject_rounds=walk_config.max_reject_rounds,
+            backend=walk_config.backend,
             budget=budget if charge_budget else None,
             seed=seed,
         )

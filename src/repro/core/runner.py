@@ -38,6 +38,7 @@ _GRID_SUGAR = {
     "initializer": "walk.initializer",
     "num_walks": "walk.num_walks",
     "walk_length": "walk.walk_length",
+    "backend": "walk.backend",
 }
 
 
@@ -209,6 +210,7 @@ def _run_with_updates(spec: RunSpec, graph, model):
         sampler=spec.walk.sampler,
         initializer=spec.walk.initializer,
         table_budget_bytes=spec.walk.table_budget_bytes,
+        backend=spec.walk.backend,
         seed=spec.seed,
     )
     result = net.train_from_configs(

@@ -36,7 +36,7 @@ EVALUATION_TASKS = ("classification", "clustering")
 
 #: Top-level convenience keys accepted by :meth:`RunSpec.from_dict` that
 #: really live on the nested ``walk`` config.
-_WALK_SUGAR = ("sampler", "initializer", "num_walks", "walk_length")
+_WALK_SUGAR = ("sampler", "initializer", "num_walks", "walk_length", "backend")
 
 
 def _dataclass_from_dict(cls, data, where: str):
@@ -360,7 +360,8 @@ class RunSpec:
         Nested sections may be partial (missing keys take the dataclass
         defaults); unknown keys raise :class:`~repro.errors.SpecError`.
         The walk settings ``sampler`` / ``initializer`` / ``num_walks`` /
-        ``walk_length`` are also accepted at the top level as sugar.
+        ``walk_length`` / ``backend`` are also accepted at the top level
+        as sugar.
         """
         if not isinstance(data, dict):
             raise SpecError(f"RunSpec data must be a mapping, got {type(data).__name__}")

@@ -71,6 +71,11 @@ class UniNet:
         ``"rejection"``, ``"knightking"``, ``"memory-aware"``.
     initializer:
         M-H chain initialization strategy (``"high-weight"`` default).
+    backend:
+        kernel backend for the walk hot loops (``"numpy"`` default,
+        ``"numba"``, ``"cnative"``); see
+        :mod:`repro.walks.kernels`. Missing optional dependencies raise
+        :class:`~repro.errors.ConfigError` at engine build time.
     budget:
         optional :class:`~repro.sampling.memory_model.MemoryBudget` for
         simulated-OOM experiments.
@@ -87,6 +92,7 @@ class UniNet:
         sampler: str = "mh",
         initializer: str = "high-weight",
         table_budget_bytes: int | None = None,
+        backend: str = "numpy",
         budget=None,
         seed=None,
         **model_params,
@@ -95,6 +101,7 @@ class UniNet:
         self.model = make_model(model, graph, **model_params)
         self.sampler = sampler
         self.initializer = initializer
+        self.backend = backend
         self.table_budget_bytes = table_budget_bytes
         self.budget = budget
         self.seed = seed
@@ -126,6 +133,7 @@ class UniNet:
             sampler=overrides.pop("sampler", self.sampler),
             initializer=overrides.pop("initializer", self.initializer),
             table_budget_bytes=overrides.pop("table_budget_bytes", self.table_budget_bytes),
+            backend=overrides.pop("backend", self.backend),
             **overrides,
         )
 
@@ -384,6 +392,7 @@ class UniNet:
             burn_in_iterations=cfg.burn_in_iterations,
             table_budget_bytes=cfg.table_budget_bytes,
             max_reject_rounds=cfg.max_reject_rounds,
+            backend=cfg.backend,
             chain_store=chain_store,
             budget=self.budget,
             seed=int(self._rng.integers(2**31)),

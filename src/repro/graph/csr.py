@@ -74,6 +74,46 @@ class CSRGraph:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_trusted_arrays(
+        cls,
+        offsets,
+        targets,
+        weights=None,
+        node_types=None,
+        edge_types=None,
+        *,
+        num_node_types=None,
+        num_edge_types=None,
+    ) -> "CSRGraph":
+        """Zero-copy construction from already-validated arrays.
+
+        The multiprocess walk workers use this to wrap shared-memory
+        views of a parent graph without copying and without re-running
+        the O(|E|) validation — the parent's public constructor already
+        established every invariant. Callers must pass arrays with the
+        exact dtypes the public constructor would produce (int64
+        offsets/targets, float64 weights, int16/int32 types); nothing is
+        converted or checked here.
+        """
+        graph = object.__new__(cls)
+        graph.offsets = offsets
+        graph.targets = targets
+        graph.weights = weights
+        graph.node_types = node_types
+        graph.edge_types = edge_types
+        graph.num_node_types = (
+            int(num_node_types)
+            if num_node_types is not None
+            else (1 if node_types is None else int(node_types.max(initial=-1)) + 1)
+        )
+        graph.num_edge_types = (
+            int(num_edge_types)
+            if num_edge_types is not None
+            else (1 if edge_types is None else int(edge_types.max(initial=-1)) + 1)
+        )
+        return graph
+
     def _validate(self) -> None:
         if self.offsets.ndim != 1 or self.offsets.size < 1:
             raise GraphError("offsets must be a 1-D array with at least one entry")

@@ -250,6 +250,9 @@ class SamplerContext:
     chain_store: Any = None
     max_reject_rounds: int = 10_000
     budget: Any = None
+    #: Kernel backend instance driving the stepper's hot loops
+    #: (:mod:`repro.walks.kernels`); ``None`` means the NumPy default.
+    kernels: Any = None
 
 
 #: Random-walk model classes (``repro.walks.models``). Capabilities:
@@ -271,6 +274,13 @@ SCALAR_SAMPLER_REGISTRY = Registry(
 #: M-H chain initialization strategies (``repro.sampling.initialization``).
 INITIALIZER_REGISTRY = Registry(
     "initialization strategy", error_cls=SamplerError, home="repro.sampling.initialization"
+)
+
+#: Walk-step kernel backends (``repro.walks.kernels``): factories
+#: ``() -> backend`` implementing the kernel protocol. Capabilities:
+#: ``compiled``, ``kinds``.
+KERNEL_REGISTRY = Registry(
+    "kernel backend", error_cls=WalkError, home="repro.walks.kernels.backends"
 )
 
 
@@ -357,6 +367,7 @@ __all__ = [
     "SAMPLER_REGISTRY",
     "SCALAR_SAMPLER_REGISTRY",
     "INITIALIZER_REGISTRY",
+    "KERNEL_REGISTRY",
     "register_model",
     "register_sampler",
     "register_initializer",

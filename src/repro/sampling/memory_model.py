@@ -11,7 +11,8 @@ byte-accurate estimates at whatever scale the benchmark runs.
 Per-entry costs (bytes) reflect this implementation's actual arrays:
 
 * alias table entry: 8 (float64 threshold) + 8 (int64 alias) = 16
-* M-H chain state:   8 (int64 last edge offset)
+* M-H chain state:   8 (int64 last edge offset) + 8 (float64 cached
+  dynamic weight of that offset — the kernel layer's w'(LAST_x) cache)
 * CSR edge entry:    8 (int64 target) + 8 (float64 weight, if weighted)
 """
 
@@ -20,7 +21,7 @@ from __future__ import annotations
 from repro.errors import ConfigError, SimulatedOutOfMemoryError
 
 ALIAS_ENTRY_BYTES = 16
-MH_STATE_BYTES = 8
+MH_STATE_BYTES = 16
 DIRECT_SAMPLER_BYTES = 64  # constant scratch
 
 
@@ -89,7 +90,12 @@ def rejection_bytes(graph) -> int:
 
 
 def mh_bytes(graph, model) -> int:
-    """M-H sampler: one int64 LAST_x slot per state (paper Section III-A)."""
+    """M-H sampler: one (LAST_x, w'(LAST_x)) slot pair per state.
+
+    Still the O(#state) footprint of paper Section III-A — the kernel
+    layer's weight cache doubles the constant to 16 bytes but not the
+    asymptotics.
+    """
     return int(model.state_space_size(graph)) * MH_STATE_BYTES
 
 

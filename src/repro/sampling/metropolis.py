@@ -51,13 +51,26 @@ class MetropolisHastingsSampler(EdgeSampler):
         if chain_store is not None:
             # share chains with a vectorized engine (duck-typed ChainStore)
             self.last = chain_store.last
+            self.last_w = getattr(chain_store, "last_w", None)
             if self.last.size != size:
                 raise ConfigError("chain_store size does not match the model's state space")
         else:
             if budget is not None:
                 budget.charge(mh_bytes(graph, model), self.name)
             self.last = np.full(size, NO_EDGE, dtype=np.int64)
+            self.last_w = np.full(size, np.nan, dtype=np.float64)
         self.initializer = make_initializer(initializer)
+
+    def _invalidate_weight(self, idx: int) -> None:
+        """Mark the chain's cached w'(LAST_x) stale after moving it.
+
+        The scalar sampler evaluates weights through the scalar model
+        path, whose floating-point expression may differ in the last bit
+        from the batch path the vectorized engine caches — so it only
+        ever *invalidates* the shared cache, never populates it.
+        """
+        if self.last_w is not None:
+            self.last_w[idx] = np.nan
 
     def sample(self, graph, model, state, rng: np.random.Generator) -> int:
         lo, hi = graph.edge_range(state.current)
@@ -73,6 +86,7 @@ class MetropolisHastingsSampler(EdgeSampler):
             if last == NO_EDGE:
                 return NO_EDGE  # no positive-weight transition exists
             self.last[idx] = last
+            self._invalidate_weight(idx)
 
         # Algorithm 1, lines 2-9
         cand = lo + int(rng.integers(0, deg))
@@ -81,6 +95,7 @@ class MetropolisHastingsSampler(EdgeSampler):
         self.stats.proposals += 1
         if w_cand > 0.0 and (w_last <= 0.0 or rng.random() * w_last < w_cand):
             self.last[idx] = cand
+            self._invalidate_weight(idx)
             last = cand
         self.stats.samples += 1
         return last
@@ -93,6 +108,8 @@ class MetropolisHastingsSampler(EdgeSampler):
     def reset_chains(self) -> None:
         """Forget all chain positions (forces re-initialization)."""
         self.last.fill(NO_EDGE)
+        if self.last_w is not None:
+            self.last_w.fill(np.nan)
 
     def _refresh(self, plan, model) -> dict:
         """Revalidate the chain array across a delta (the paper's win).
@@ -110,6 +127,8 @@ class MetropolisHastingsSampler(EdgeSampler):
 
         new_last, invalidated = remap_chain_array(self.last, model, plan)
         self.last = new_last
+        if self.last_w is not None:
+            self.last_w = np.full(new_last.size, np.nan, dtype=np.float64)
         return {
             "rebuilt_nodes": 0,
             "rebuild_cost_bytes": 0,

@@ -1,0 +1,622 @@
+"""Compiled C step kernels loaded through ctypes.
+
+The container this project targets ships a system C compiler but no
+numba, so the "compiled backend" the benchmarks exercise is this one: a
+single small translation unit with one plain loop per kernel, compiled
+at first use with ``cc -O3 -fPIC -shared`` and loaded via ctypes. The
+``.so`` is cached in the system temp directory keyed by a hash of the
+source + compiler, so each container pays the (sub-second) compile once.
+
+Bitwise parity with :class:`~repro.walks.kernels.numpy_backend.NumpyKernels`
+is a hard requirement (the parity suite sweeps every sampler): the loops
+use the same IEEE double expressions in the same association order as
+the NumPy formulas, and ``-ffast-math`` is deliberately absent.
+
+Only models with a compiled weight rule (``static`` / ``node2vec``) are
+supported; the engine falls back to the NumPy backend for anything whose
+:meth:`kernel_spec` says ``generic``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+import uuid
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+#define NO_EDGE (-1)
+
+#ifdef __GNUC__
+#define PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define PREFETCH(addr)
+#endif
+
+static int has_edge(const int64_t *offsets, const int64_t *targets,
+                    int64_t v, int64_t u) {
+    int64_t lo = offsets[v], hi = offsets[v + 1];
+    if (hi - lo <= 64) {
+        /* small rows: branchless linear scan vectorizes and avoids the
+           binary search's data-dependent mispredictions */
+        int found = 0;
+        for (int64_t e = lo; e < hi; e++) found |= (targets[e] == u);
+        return found;
+    }
+    /* lower_bound over the sorted row of v, exactly edge_index_batch */
+    while (lo < hi) {
+        int64_t mid = (lo + hi) / 2;
+        if (targets[mid] < u) lo = mid + 1; else hi = mid;
+    }
+    return lo < offsets[v + 1] && targets[lo] == u;
+}
+
+/* kind codes match repro.walks.kernels.state.KIND_CODES */
+static double dyn_weight(int kind, double p, double q,
+                         const int64_t *offsets, const int64_t *targets,
+                         const double *weights, int64_t prev, int64_t e) {
+    double w = weights ? weights[e] : 1.0;
+    if (kind != 2) return w; /* static */
+    int64_t u = targets[e];
+    double alpha;
+    if (prev < 0) alpha = 1.0;
+    else if (u == prev) alpha = 1.0 / p;
+    else if (has_edge(offsets, targets, prev, u)) alpha = 1.0;
+    else alpha = 1.0 / q;
+    return w * alpha;
+}
+
+void mh_propose(int64_t n, const int64_t *offsets, const int64_t *targets,
+                const double *weights, int64_t num_edges,
+                int kind, double p, double q,
+                const int64_t *prev, const int64_t *cur,
+                const int64_t *last, const double *last_w,
+                const double *u_cand, const double *u_acc,
+                int64_t *out_cand, double *out_w_cand,
+                double *out_w_last, uint8_t *out_accept) {
+    for (int64_t i = 0; i < n; i++) {
+        int64_t v = cur[i];
+        int64_t lo = offsets[v], deg = offsets[v + 1] - lo;
+        int64_t c = lo + (int64_t)(u_cand[i] * (double)(deg > 0 ? deg : 1));
+        /* deg==0 lanes are dead (masked by the driver); clamp so the
+           junk index stays in bounds where NumPy would fault instead */
+        if (c >= num_edges) c = num_edges - 1;
+        if (c < 0) c = 0;
+        double wc = dyn_weight(kind, p, q, offsets, targets, weights, prev[i], c);
+        int64_t l = last[i] > 0 ? last[i] : 0;
+        double wl = last_w[i];
+        if (wl != wl) /* NaN sentinel: cache miss, evaluate the model */
+            wl = dyn_weight(kind, p, q, offsets, targets, weights, prev[i], l);
+        out_cand[i] = c;
+        out_w_cand[i] = wc;
+        out_w_last[i] = wl;
+        out_accept[i] = (wc > 0.0) && ((wl <= 0.0) || (u_acc[i] * wl < wc));
+    }
+}
+
+void mh_step(int64_t n, const int64_t *offsets, const int64_t *targets,
+             const double *weights, int64_t num_edges,
+             int kind, double p, double q,
+             const int64_t *idx, const int64_t *prev, const int64_t *cur,
+             const int64_t *last, const double *last_w, const uint8_t *dead,
+             const double *u_cand, const double *u_acc,
+             int64_t *chain_last, double *chain_last_w,
+             int64_t *out_next, int64_t *counts) {
+    /* the full Algorithm 1 step over the shared chain arrays:
+       propose + accept + scatter LAST_x / cached weight back through
+       idx in lane order (duplicate states resolve last-writer-wins for
+       the pair, exactly the NumPy fancy-index scatter). Dead lanes are
+       skipped entirely; their uniforms were still drawn by the driver,
+       so RNG consumption matches the reference. */
+    int64_t n_ok = 0, n_acc = 0;
+    for (int64_t i = 0; i < n; i++) {
+        /* two-stage software pipeline against the random-row latency:
+           far ahead fetch the offsets entries, near ahead the rows */
+        if (i + 8 < n) {
+            PREFETCH(&offsets[cur[i + 8]]);
+            if (prev[i + 8] >= 0) PREFETCH(&offsets[prev[i + 8]]);
+        }
+        if (i + 3 < n && !dead[i + 3]) {
+            int64_t nlo = offsets[cur[i + 3]];
+            PREFETCH(&targets[nlo]);
+            if (weights) PREFETCH(&weights[nlo]);
+            if (prev[i + 3] >= 0) PREFETCH(&targets[offsets[prev[i + 3]]]);
+        }
+        if (dead[i]) { out_next[i] = NO_EDGE; continue; }
+        int64_t v = cur[i];
+        int64_t lo = offsets[v], deg = offsets[v + 1] - lo;
+        int64_t c = lo + (int64_t)(u_cand[i] * (double)(deg > 0 ? deg : 1));
+        if (c >= num_edges) c = num_edges - 1;
+        if (c < 0) c = 0;
+        double wc = dyn_weight(kind, p, q, offsets, targets, weights, prev[i], c);
+        int64_t l = last[i] > 0 ? last[i] : 0;
+        double wl = last_w[i];
+        if (wl != wl) /* NaN sentinel: cache miss, evaluate the model */
+            wl = dyn_weight(kind, p, q, offsets, targets, weights, prev[i], l);
+        int acc = (wc > 0.0) && ((wl <= 0.0) || (u_acc[i] * wl < wc));
+        int64_t nl = acc ? c : last[i];
+        chain_last[idx[i]] = nl;
+        chain_last_w[idx[i]] = acc ? wc : wl;
+        out_next[i] = nl;
+        n_ok++;
+        n_acc += acc;
+    }
+    counts[0] = n_ok;
+    counts[1] = n_acc;
+}
+
+void dyn_weights(int64_t n, const int64_t *offsets, const int64_t *targets,
+                 const double *weights, int kind, double p, double q,
+                 const int64_t *prev, const int64_t *offs, double *out) {
+    /* bulk model-weight evaluation for the M-H initializers: same
+       dyn_weight as the step kernels, over aligned (prev, offset) lanes */
+    for (int64_t i = 0; i < n; i++)
+        out[i] = dyn_weight(kind, p, q, offsets, targets, weights, prev[i], offs[i]);
+}
+
+void mh_init_select(int64_t k, int64_t cap, int64_t num_nodes,
+                    const int64_t *offsets,
+                    const int64_t *targets, const double *weights,
+                    int kind, double p, double q,
+                    const int64_t *prev, const int64_t *cur, const double *u,
+                    const int64_t *order, uint64_t *mark,
+                    int64_t *out_c, double *out_w) {
+    /* high-weight chain init: score `cap` uniform candidates per walker
+       and keep the first argmax (np.argmax tie semantics). Lanes are
+       visited through `order` (argsort by prev — each lane's output is
+       independent, so visit order is parity-free): walkers sharing a
+       prev amortize one marking pass of prev's adjacency into a
+       node-indexed bitmap (num_nodes/8 bytes, L1-resident), making each
+       node2vec membership test O(1). The mark/search decision weighs
+       row degree against the whole group's candidate count, so hub rows
+       with few walkers still use has_edge. Bits are cleared lazily when
+       the marked row changes; the scratch is zeroed here. */
+    int64_t marked = -1;   /* row currently in the bitmap */
+    int64_t checked = -1;  /* group whose marking decision is cached */
+    int use_mark_group = 0;
+    if (kind == 2)
+        for (int64_t n = 0; n < (num_nodes + 63) / 64; n++) mark[n] = 0;
+    for (int64_t si = 0; si < k; si++) {
+        int64_t i = order[si];
+        /* two-stage software pipeline against the random-row latency:
+           far ahead fetch the offsets entries, near ahead the rows */
+        if (si + 8 < k) {
+            int64_t f = order[si + 8];
+            PREFETCH(&offsets[cur[f]]);
+            PREFETCH(&u[f * cap]);
+        }
+        if (si + 3 < k) {
+            int64_t nlo = offsets[cur[order[si + 3]]];
+            PREFETCH(&targets[nlo]);
+            if (weights) PREFETCH(&weights[nlo]);
+        }
+        int64_t pv = prev[i];
+        int use_mark = 0;
+        if (kind == 2 && pv >= 0) {
+            if (pv != checked) {
+                /* new group: size it (the scan is O(k) overall) and
+                   decide marking vs per-candidate binary search */
+                int64_t glen = 1;
+                while (si + glen < k && prev[order[si + glen]] == pv) glen++;
+                int64_t pdeg = offsets[pv + 1] - offsets[pv];
+                checked = pv;
+                use_mark_group = pdeg <= 4 * cap * glen;
+                if (use_mark_group) {
+                    if (marked >= 0)
+                        for (int64_t e = offsets[marked]; e < offsets[marked + 1]; e++)
+                            mark[targets[e] >> 6] &= ~(1ULL << (targets[e] & 63));
+                    for (int64_t e = offsets[pv]; e < offsets[pv + 1]; e++)
+                        mark[targets[e] >> 6] |= 1ULL << (targets[e] & 63);
+                    marked = pv;
+                }
+            }
+            use_mark = use_mark_group;
+        }
+        int64_t lo = offsets[cur[i]];
+        int64_t deg = offsets[cur[i] + 1] - lo;
+        double d = (double)(deg > 0 ? deg : 1);
+        const double *row_u = u + i * cap;
+        int64_t best_c = lo;
+        double best_w = 0.0;
+        for (int64_t j = 0; j < cap; j++) {
+            int64_t c = lo + (int64_t)(row_u[j] * d);
+            double w = weights ? weights[c] : 1.0;
+            if (kind == 2) {
+                int64_t t = targets[c];
+                double alpha;
+                if (pv < 0) alpha = 1.0;
+                else if (t == pv) alpha = 1.0 / p;
+                else if (use_mark ? ((mark[t >> 6] >> (t & 63)) & 1)
+                                  : has_edge(offsets, targets, pv, t)) alpha = 1.0;
+                else alpha = 1.0 / q;
+                w = w * alpha;
+            }
+            if (j == 0 || w > best_w) { best_w = w; best_c = c; }
+        }
+        out_c[i] = best_c;
+        out_w[i] = best_w;
+    }
+}
+
+void alias_draw(int64_t n, const int64_t *offsets,
+                const double *thresh, const int64_t *alias, int64_t tsize,
+                const int64_t *nodes, const double *u_slot, const double *u_keep,
+                int64_t *out) {
+    for (int64_t i = 0; i < n; i++) {
+        int64_t v = nodes[i];
+        int64_t lo = offsets[v], deg = offsets[v + 1] - lo;
+        int64_t k = lo + (int64_t)(u_slot[i] * (double)(deg > 0 ? deg : 1));
+        if (thresh) {
+            int64_t kk = k < tsize - 1 ? k : tsize - 1;
+            if (!(u_keep[i] < thresh[kk])) k = alias[kk];
+        }
+        out[i] = deg > 0 ? k : NO_EDGE;
+    }
+}
+
+void state_alias_draw(int64_t n, const int64_t *offsets,
+                      const int64_t *base, const double *thresh,
+                      const int64_t *alias_local, const int64_t *tab_deg,
+                      const uint8_t *has, int64_t tsize,
+                      const int64_t *state_idx, const int64_t *cur,
+                      const double *u_slot, const double *u_keep,
+                      int64_t *out) {
+    for (int64_t i = 0; i < n; i++) {
+        int64_t s = state_idx[i];
+        if (!has[s]) { out[i] = NO_EDGE; continue; }
+        int64_t deg = tab_deg[s];
+        int64_t k = (int64_t)(u_slot[i] * (double)(deg > 0 ? deg : 1));
+        int64_t slot = base[s] + k;
+        int64_t cap = tsize - 1 > 0 ? tsize - 1 : 0;
+        if (slot > cap) slot = cap;
+        int64_t pos = (u_keep[i] < thresh[slot]) ? k : alias_local[slot];
+        out[i] = offsets[cur[i]] + pos;
+    }
+}
+
+void rejection_round(int64_t n, const int64_t *offsets, const int64_t *targets,
+                     const double *weights, int kind, double p, double q,
+                     const double *prop_thresh, const int64_t *prop_alias,
+                     int64_t tsize,
+                     const int64_t *prev, const int64_t *cur,
+                     const double *u_prop, const double *u_keep,
+                     const double *u_acc, double bound, int clip,
+                     int64_t *out_off, uint8_t *out_accept) {
+    for (int64_t i = 0; i < n; i++) {
+        int64_t v = cur[i];
+        int64_t lo = offsets[v], deg = offsets[v + 1] - lo;
+        int64_t k = lo + (int64_t)(u_prop[i] * (double)(deg > 0 ? deg : 1));
+        if (prop_thresh) {
+            int64_t kk = k < tsize - 1 ? k : tsize - 1;
+            if (!(u_keep[i] < prop_thresh[kk])) k = prop_alias[kk];
+        }
+        int64_t off = deg > 0 ? k : NO_EDGE;
+        out_off[i] = off;
+        int64_t e = off > 0 ? off : 0;
+        double ws = weights ? weights[e] : 1.0;
+        double wd = dyn_weight(kind, p, q, offsets, targets, weights, prev[i], e);
+        if (clip) {
+            double cl = bound * ws;
+            if (wd > cl) wd = cl;
+        }
+        out_accept[i] = (off >= 0) && (u_acc[i] * bound * ws < wd);
+    }
+}
+"""
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_F64P = ctypes.POINTER(ctypes.c_double)
+_U8P = ctypes.POINTER(ctypes.c_uint8)
+_U64P = ctypes.POINTER(ctypes.c_uint64)
+
+
+def find_compiler() -> str | None:
+    """System C compiler for the kernel translation unit, if any."""
+    cc = os.environ.get("CC")
+    if cc and shutil.which(cc):
+        return cc
+    for candidate in ("cc", "gcc", "clang"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _compile(compiler: str) -> str:
+    """Build (or reuse) the cached ``.so``; returns its path."""
+    tag = hashlib.sha256((_C_SOURCE + compiler).encode()).hexdigest()[:16]
+    cache_dir = tempfile.gettempdir()
+    so_path = os.path.join(cache_dir, f"repro-walk-kernels-{tag}.so")
+    if os.path.exists(so_path):
+        return so_path
+    src_path = os.path.join(cache_dir, f"repro-walk-kernels-{tag}.c")
+    tmp_so = os.path.join(cache_dir, f"repro-walk-kernels-{tag}-{uuid.uuid4().hex}.so")
+    with open(src_path, "w") as fh:
+        fh.write(_C_SOURCE)
+    # no -ffast-math, and contraction off explicitly (-march=native could
+    # otherwise fuse a*b+c into FMAs with different rounding): the
+    # acceptance tests must stay IEEE-identical to NumPy
+    base = [compiler, "-O3", "-ffp-contract=off", "-fPIC", "-shared",
+            "-o", tmp_so, src_path]
+    proc = None
+    # -march=native first (vectorizes the linear membership scans);
+    # retried portable where the toolchain rejects it
+    for extra in (["-march=native"], []):
+        cmd = base[:1] + extra + base[1:]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+        except (OSError, subprocess.TimeoutExpired) as err:
+            raise ConfigError(f"kernel backend 'cnative': compile failed: {err}") from err
+        if proc.returncode == 0:
+            break
+    if proc.returncode != 0:
+        raise ConfigError(
+            f"kernel backend 'cnative': {compiler} exited with "
+            f"{proc.returncode}: {proc.stderr.strip()[:500]}"
+        )
+    os.replace(tmp_so, so_path)  # atomic vs concurrent builders
+    return so_path
+
+
+def _load(so_path: str):
+    lib = ctypes.CDLL(so_path)
+    lib.mh_propose.restype = None
+    lib.mh_propose.argtypes = [
+        ctypes.c_int64, _I64P, _I64P, _F64P, ctypes.c_int64,
+        ctypes.c_int, ctypes.c_double, ctypes.c_double,
+        _I64P, _I64P, _I64P, _F64P, _F64P, _F64P,
+        _I64P, _F64P, _F64P, _U8P,
+    ]
+    lib.mh_step.restype = None
+    lib.mh_step.argtypes = [
+        ctypes.c_int64, _I64P, _I64P, _F64P, ctypes.c_int64,
+        ctypes.c_int, ctypes.c_double, ctypes.c_double,
+        _I64P, _I64P, _I64P, _I64P, _F64P, _U8P, _F64P, _F64P,
+        _I64P, _F64P, _I64P, _I64P,
+    ]
+    lib.dyn_weights.restype = None
+    lib.dyn_weights.argtypes = [
+        ctypes.c_int64, _I64P, _I64P, _F64P,
+        ctypes.c_int, ctypes.c_double, ctypes.c_double,
+        _I64P, _I64P, _F64P,
+    ]
+    lib.mh_init_select.restype = None
+    lib.mh_init_select.argtypes = [
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64P, _I64P, _F64P,
+        ctypes.c_int, ctypes.c_double, ctypes.c_double,
+        _I64P, _I64P, _F64P, _I64P, _U64P, _I64P, _F64P,
+    ]
+    lib.alias_draw.restype = None
+    lib.alias_draw.argtypes = [
+        ctypes.c_int64, _I64P, _F64P, _I64P, ctypes.c_int64,
+        _I64P, _F64P, _F64P, _I64P,
+    ]
+    lib.state_alias_draw.restype = None
+    lib.state_alias_draw.argtypes = [
+        ctypes.c_int64, _I64P, _I64P, _F64P, _I64P, _I64P, _U8P,
+        ctypes.c_int64, _I64P, _I64P, _F64P, _F64P, _I64P,
+    ]
+    lib.rejection_round.restype = None
+    lib.rejection_round.argtypes = [
+        ctypes.c_int64, _I64P, _I64P, _F64P,
+        ctypes.c_int, ctypes.c_double, ctypes.c_double,
+        _F64P, _I64P, ctypes.c_int64,
+        _I64P, _I64P, _F64P, _F64P, _F64P,
+        ctypes.c_double, ctypes.c_int,
+        _I64P, _U8P,
+    ]
+    return lib
+
+
+def _i64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def _f64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def _ip(arr: np.ndarray):
+    return arr.ctypes.data_as(_I64P)
+
+
+def _fp(arr):
+    if arr is None:
+        return ctypes.cast(None, _F64P)
+    return arr.ctypes.data_as(_F64P)
+
+
+def _up(arr: np.ndarray):
+    return arr.ctypes.data_as(_U8P)
+
+
+class CNativeKernels:
+    """ctypes-driven C loops for the walk hot path."""
+
+    name = "cnative"
+    compiled = True
+
+    def __init__(self):
+        self._compiler = find_compiler()
+        if self._compiler is None:
+            raise ConfigError(
+                "kernel backend 'cnative' needs a system C compiler (cc/gcc/"
+                "clang); none found on PATH — use backend='numpy' instead"
+            )
+        self._lib = None
+        self._mark = None  # node-indexed scratch for mh_init_select
+
+    def supports(self, spec) -> bool:
+        return spec.get("kind") in ("static", "node2vec")
+
+    def warmup(self) -> float:
+        """Compile + load the shared object; returns the seconds spent."""
+        if self._lib is not None:
+            return 0.0
+        t0 = time.perf_counter()
+        self._lib = _load(_compile(self._compiler))
+        return time.perf_counter() - t0
+
+    def _ensure(self):
+        if self._lib is None:
+            self.warmup()
+        return self._lib
+
+    # ------------------------------------------------------------------
+    def mh_propose(self, ks, prev, cur, last, last_w, u_cand, u_acc, weight_fn):
+        lib = self._ensure()
+        n = cur.size
+        prev = _i64(prev)
+        cur = _i64(cur)
+        last = _i64(last)
+        last_w = _f64(last_w)
+        u_cand = _f64(u_cand)
+        u_acc = _f64(u_acc)
+        cand = np.empty(n, dtype=np.int64)
+        w_cand = np.empty(n, dtype=np.float64)
+        w_last = np.empty(n, dtype=np.float64)
+        accept = np.empty(n, dtype=np.uint8)
+        lib.mh_propose(
+            n, _ip(ks.offsets), _ip(ks.targets), _fp(ks.weights),
+            ks.targets.size, ks.kind_code, ks.p, ks.q,
+            _ip(prev), _ip(cur), _ip(last), _fp(last_w),
+            _fp(u_cand), _fp(u_acc),
+            _ip(cand), _fp(w_cand), _fp(w_last), _up(accept),
+        )
+        return cand, w_cand, w_last, accept.view(bool)
+
+    def mh_step(self, ks, idx, prev, cur, last, last_w, dead, u_cand, u_acc, weight_fn):
+        lib = self._ensure()
+        n = cur.size
+        idx = _i64(idx)
+        prev = _i64(prev)
+        cur = _i64(cur)
+        last = _i64(last)
+        last_w = _f64(last_w)
+        dead = np.ascontiguousarray(dead, dtype=np.uint8)
+        u_cand = _f64(u_cand)
+        u_acc = _f64(u_acc)
+        out_next = np.empty(n, dtype=np.int64)
+        counts = np.zeros(2, dtype=np.int64)
+        lib.mh_step(
+            n, _ip(ks.offsets), _ip(ks.targets), _fp(ks.weights),
+            ks.targets.size, ks.kind_code, ks.p, ks.q,
+            _ip(idx), _ip(prev), _ip(cur), _ip(last), _fp(last_w),
+            _up(dead), _fp(u_cand), _fp(u_acc),
+            _ip(ks.chain_last), _fp(ks.chain_last_w),
+            _ip(out_next), _ip(counts),
+        )
+        return out_next, int(counts[0]), int(counts[1])
+
+    def dyn_weights(self, ks, prev, offs, weight_fn):
+        lib = self._ensure()
+        prev = _i64(prev)
+        offs = _i64(offs)
+        out = np.empty(offs.size, dtype=np.float64)
+        lib.dyn_weights(
+            offs.size, _ip(ks.offsets), _ip(ks.targets), _fp(ks.weights),
+            ks.kind_code, ks.p, ks.q, _ip(prev), _ip(offs), _fp(out),
+        )
+        return out
+
+    def mh_init_select(self, ks, prev, cur, u, weight_fn):
+        lib = self._ensure()
+        prev = _i64(prev)
+        cur = _i64(cur)
+        u = _f64(u)
+        k, cap = u.shape
+        num_nodes = ks.offsets.size - 1
+        words = (num_nodes + 63) // 64
+        if self._mark is None or self._mark.size < words:
+            self._mark = np.zeros(words, dtype=np.uint64)
+        out_c = np.empty(k, dtype=np.int64)
+        out_w = np.empty(k, dtype=np.float64)
+        # lanes sorted by prev amortize membership marking across the
+        # walkers sharing a row; outputs are per-lane, so the visit
+        # order cannot affect results
+        order = np.argsort(prev, kind="stable")
+        lib.mh_init_select(
+            k, cap, num_nodes, _ip(ks.offsets), _ip(ks.targets), _fp(ks.weights),
+            ks.kind_code, ks.p, ks.q,
+            _ip(prev), _ip(cur), _fp(u), _ip(order),
+            self._mark.ctypes.data_as(_U64P),
+            _ip(out_c), _fp(out_w),
+        )
+        return out_c, out_w
+
+    def alias_draw(self, ks, nodes, u_slot, u_keep):
+        lib = self._ensure()
+        n = nodes.size
+        nodes = _i64(nodes)
+        u_slot = _f64(u_slot)
+        out = np.empty(n, dtype=np.int64)
+        if u_keep is None:
+            thresh_p, alias_p, tsize, keep_p = _fp(None), _ip(out), 0, _fp(u_slot)
+        else:
+            u_keep = _f64(u_keep)
+            thresh_p = _fp(ks.prop_threshold)
+            alias_p = _ip(ks.prop_alias)
+            tsize = ks.prop_threshold.size
+            keep_p = _fp(u_keep)
+        lib.alias_draw(
+            n, _ip(ks.offsets), thresh_p, alias_p, tsize,
+            _ip(nodes), _fp(u_slot), keep_p, _ip(out),
+        )
+        return out
+
+    def state_alias_draw(self, ks, state_idx, cur, u_slot, u_keep):
+        lib = self._ensure()
+        n = state_idx.size
+        state_idx = _i64(state_idx)
+        cur = _i64(cur)
+        u_slot = _f64(u_slot)
+        u_keep = _f64(u_keep)
+        has = np.ascontiguousarray(ks.tab_has, dtype=np.uint8)
+        out = np.empty(n, dtype=np.int64)
+        lib.state_alias_draw(
+            n, _ip(ks.offsets), _ip(ks.tab_base), _fp(ks.tab_threshold),
+            _ip(ks.tab_alias), _ip(ks.tab_deg), _up(has),
+            ks.tab_threshold.size, _ip(state_idx), _ip(cur),
+            _fp(u_slot), _fp(u_keep), _ip(out),
+        )
+        return out
+
+    def rejection_round(self, ks, prev, cur, u_prop, u_keep, u_acc, bound, clip, weight_fn):
+        lib = self._ensure()
+        n = cur.size
+        prev = _i64(prev)
+        cur = _i64(cur)
+        u_prop = _f64(u_prop)
+        u_acc = _f64(u_acc)
+        out_off = np.empty(n, dtype=np.int64)
+        accept = np.empty(n, dtype=np.uint8)
+        if u_keep is None:
+            thresh_p, alias_p, tsize, keep_p = _fp(None), _ip(out_off), 0, _fp(u_prop)
+        else:
+            u_keep = _f64(u_keep)
+            thresh_p = _fp(ks.prop_threshold)
+            alias_p = _ip(ks.prop_alias)
+            tsize = ks.prop_threshold.size
+            keep_p = _fp(u_keep)
+        lib.rejection_round(
+            n, _ip(ks.offsets), _ip(ks.targets), _fp(ks.weights),
+            ks.kind_code, ks.p, ks.q,
+            thresh_p, alias_p, tsize,
+            _ip(prev), _ip(cur), _fp(u_prop), keep_p, _fp(u_acc),
+            float(bound), int(clip),
+            _ip(out_off), _up(accept),
+        )
+        return out_off, accept.view(bool)
+
+
+__all__ = ["CNativeKernels", "find_compiler"]

@@ -1,0 +1,444 @@
+"""numba ``@njit(cache=True)`` step kernels (optional dependency).
+
+Importing this module is safe without numba — :data:`HAVE_NUMBA` reports
+availability and :class:`NumbaKernels` raises
+:class:`~repro.errors.ConfigError` from its constructor, which is what
+the registry factory surfaces when ``backend="numba"`` is requested on a
+machine without it.
+
+The jitted loops are line-for-line ports of the C loops in
+:mod:`repro.walks.kernels.cnative_backend` (same expressions, same
+association order), so the parity suite covers them identically whenever
+numba is present. ``cache=True`` persists the compiled machine code next
+to this file, so ``compile_seconds`` collapses to a disk load after the
+first process.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sampling.base import NO_EDGE
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the container default
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Import-time stub so the jitted defs below still parse."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+_HAS_WEIGHTS = 1  # weights array present (vs. implicit 1.0)
+
+
+@njit(cache=True)
+def _has_edge(offsets, targets, v, u):  # pragma: no cover - jitted
+    lo = offsets[v]
+    hi = offsets[v + 1]
+    if hi - lo <= 64:
+        found = False
+        for e in range(lo, hi):
+            found |= targets[e] == u
+        return found
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if targets[mid] < u:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo < offsets[v + 1] and targets[lo] == u
+
+
+@njit(cache=True)
+def _dyn_weight(kind, p, q, offsets, targets, weights, has_w, prev, e):  # pragma: no cover
+    w = weights[e] if has_w == _HAS_WEIGHTS else 1.0
+    if kind != 2:
+        return w
+    u = targets[e]
+    if prev < 0:
+        alpha = 1.0
+    elif u == prev:
+        alpha = 1.0 / p
+    elif _has_edge(offsets, targets, prev, u):
+        alpha = 1.0
+    else:
+        alpha = 1.0 / q
+    return w * alpha
+
+
+@njit(cache=True)
+def _mh_propose(offsets, targets, weights, has_w, kind, p, q,
+                prev, cur, last, last_w, u_cand, u_acc,
+                out_cand, out_w_cand, out_w_last, out_accept):  # pragma: no cover
+    num_edges = targets.size
+    for i in range(cur.size):
+        v = cur[i]
+        lo = offsets[v]
+        deg = offsets[v + 1] - lo
+        c = lo + np.int64(u_cand[i] * float(deg if deg > 0 else 1))
+        if c >= num_edges:
+            c = num_edges - 1
+        if c < 0:
+            c = 0
+        wc = _dyn_weight(kind, p, q, offsets, targets, weights, has_w, prev[i], c)
+        last_i = last[i] if last[i] > 0 else 0
+        wl = last_w[i]
+        if wl != wl:
+            wl = _dyn_weight(kind, p, q, offsets, targets, weights, has_w, prev[i], last_i)
+        out_cand[i] = c
+        out_w_cand[i] = wc
+        out_w_last[i] = wl
+        out_accept[i] = (wc > 0.0) and ((wl <= 0.0) or (u_acc[i] * wl < wc))
+
+
+@njit(cache=True)
+def _mh_step(offsets, targets, weights, has_w, kind, p, q,
+             idx, prev, cur, last, last_w, dead, u_cand, u_acc,
+             chain_last, chain_last_w, out_next, counts):  # pragma: no cover
+    num_edges = targets.size
+    n_ok = 0
+    n_acc = 0
+    for i in range(cur.size):
+        if dead[i]:
+            out_next[i] = NO_EDGE
+            continue
+        v = cur[i]
+        lo = offsets[v]
+        deg = offsets[v + 1] - lo
+        c = lo + np.int64(u_cand[i] * float(deg if deg > 0 else 1))
+        if c >= num_edges:
+            c = num_edges - 1
+        if c < 0:
+            c = 0
+        wc = _dyn_weight(kind, p, q, offsets, targets, weights, has_w, prev[i], c)
+        l = last[i] if last[i] > 0 else 0
+        wl = last_w[i]
+        if wl != wl:
+            wl = _dyn_weight(kind, p, q, offsets, targets, weights, has_w, prev[i], l)
+        acc = (wc > 0.0) and ((wl <= 0.0) or (u_acc[i] * wl < wc))
+        nl = c if acc else last[i]
+        chain_last[idx[i]] = nl
+        chain_last_w[idx[i]] = wc if acc else wl
+        out_next[i] = nl
+        n_ok += 1
+        if acc:
+            n_acc += 1
+    counts[0] = n_ok
+    counts[1] = n_acc
+
+
+@njit(cache=True)
+def _dyn_weights(offsets, targets, weights, has_w, kind, p, q,
+                 prev, offs, out):  # pragma: no cover - jitted
+    for i in range(offs.size):
+        out[i] = _dyn_weight(kind, p, q, offsets, targets, weights, has_w,
+                             prev[i], offs[i])
+
+
+@njit(cache=True)
+def _mh_init_select(offsets, targets, weights, has_w, kind, p, q,
+                    prev, cur, u, cap, num_nodes, order, mark,
+                    out_c, out_w):  # pragma: no cover - jitted
+    # lanes visited in prev-sorted order (outputs are per-lane, so the
+    # visit order is parity-free); walkers sharing a prev amortize one
+    # marking pass of its adjacency into the L1-resident uint64 bitmap,
+    # cleared lazily when the marked row changes
+    marked = np.int64(-1)
+    checked = np.int64(-1)
+    use_mark_group = False
+    if kind == 2:
+        mark[: (num_nodes + 63) // 64] = 0
+    for si in range(cur.size):
+        i = order[si]
+        pv = prev[i]
+        use_mark = False
+        if kind == 2 and pv >= 0:
+            if pv != checked:
+                glen = 1
+                while si + glen < cur.size and prev[order[si + glen]] == pv:
+                    glen += 1
+                checked = pv
+                use_mark_group = offsets[pv + 1] - offsets[pv] <= 4 * cap * glen
+                if use_mark_group:
+                    if marked >= 0:
+                        for e in range(offsets[marked], offsets[marked + 1]):
+                            t = targets[e]
+                            mark[t >> 6] &= ~(np.uint64(1) << np.uint64(t & 63))
+                    for e in range(offsets[pv], offsets[pv + 1]):
+                        t = targets[e]
+                        mark[t >> 6] |= np.uint64(1) << np.uint64(t & 63)
+                    marked = pv
+            use_mark = use_mark_group
+        lo = offsets[cur[i]]
+        deg = offsets[cur[i] + 1] - lo
+        d = float(deg if deg > 0 else 1)
+        best_c = lo
+        best_w = 0.0
+        for j in range(cap):
+            c = lo + np.int64(u[i, j] * d)
+            w = weights[c] if has_w == _HAS_WEIGHTS else 1.0
+            if kind == 2:
+                t = targets[c]
+                if pv < 0:
+                    alpha = 1.0
+                elif t == pv:
+                    alpha = 1.0 / p
+                elif (
+                    (mark[t >> 6] >> np.uint64(t & 63)) & np.uint64(1)
+                ) != 0 if use_mark else _has_edge(offsets, targets, pv, t):
+                    alpha = 1.0
+                else:
+                    alpha = 1.0 / q
+                w = w * alpha
+            if j == 0 or w > best_w:
+                best_w = w
+                best_c = c
+        out_c[i] = best_c
+        out_w[i] = best_w
+
+
+@njit(cache=True)
+def _alias_draw(offsets, thresh, alias, tsize, weighted,
+                nodes, u_slot, u_keep, out):  # pragma: no cover
+    for i in range(nodes.size):
+        v = nodes[i]
+        lo = offsets[v]
+        deg = offsets[v + 1] - lo
+        k = lo + np.int64(u_slot[i] * float(deg if deg > 0 else 1))
+        if weighted:
+            kk = k if k < tsize - 1 else tsize - 1
+            if not (u_keep[i] < thresh[kk]):
+                k = alias[kk]
+        out[i] = k if deg > 0 else NO_EDGE
+
+
+@njit(cache=True)
+def _state_alias_draw(offsets, base, thresh, alias_local, tab_deg, has, tsize,
+                      state_idx, cur, u_slot, u_keep, out):  # pragma: no cover
+    for i in range(state_idx.size):
+        s = state_idx[i]
+        if not has[s]:
+            out[i] = NO_EDGE
+            continue
+        deg = tab_deg[s]
+        k = np.int64(u_slot[i] * float(deg if deg > 0 else 1))
+        slot = base[s] + k
+        cap = tsize - 1 if tsize - 1 > 0 else 0
+        if slot > cap:
+            slot = cap
+        pos = k if u_keep[i] < thresh[slot] else alias_local[slot]
+        out[i] = offsets[cur[i]] + pos
+
+
+@njit(cache=True)
+def _rejection_round(offsets, targets, weights, has_w, kind, p, q,
+                     prop_thresh, prop_alias, tsize, weighted,
+                     prev, cur, u_prop, u_keep, u_acc, bound, clip,
+                     out_off, out_accept):  # pragma: no cover
+    for i in range(cur.size):
+        v = cur[i]
+        lo = offsets[v]
+        deg = offsets[v + 1] - lo
+        k = lo + np.int64(u_prop[i] * float(deg if deg > 0 else 1))
+        if weighted:
+            kk = k if k < tsize - 1 else tsize - 1
+            if not (u_keep[i] < prop_thresh[kk]):
+                k = prop_alias[kk]
+        off = k if deg > 0 else NO_EDGE
+        out_off[i] = off
+        e = off if off > 0 else 0
+        ws = weights[e] if has_w == _HAS_WEIGHTS else 1.0
+        wd = _dyn_weight(kind, p, q, offsets, targets, weights, has_w, prev[i], e)
+        if clip:
+            cl = bound * ws
+            if wd > cl:
+                wd = cl
+        out_accept[i] = (off >= 0) and (u_acc[i] * bound * ws < wd)
+
+
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+class NumbaKernels:
+    """JIT-compiled step loops; mirrors the cnative backend exactly."""
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self):
+        if not HAVE_NUMBA:
+            raise ConfigError(
+                "kernel backend 'numba' requested but numba is not installed; "
+                "install the 'jit' extra (pip install repro[jit]) or use "
+                "backend='numpy'"
+            )
+        self._warm = False
+        self._mark = None  # node-indexed scratch for mh_init_select
+
+    def supports(self, spec) -> bool:
+        return spec.get("kind") in ("static", "node2vec")
+
+    def warmup(self) -> float:
+        """Force-compile every kernel on tiny inputs; returns seconds."""
+        if self._warm:
+            return 0.0
+        t0 = time.perf_counter()
+        offsets = np.array([0, 1], dtype=np.int64)
+        targets = np.array([0], dtype=np.int64)
+        weights = np.array([1.0], dtype=np.float64)
+        one_i = np.zeros(1, dtype=np.int64)
+        one_f = np.zeros(1, dtype=np.float64)
+        out_i = np.empty(1, dtype=np.int64)
+        out_f = np.empty(1, dtype=np.float64)
+        out_b = np.empty(1, dtype=np.bool_)
+        one_u8 = np.zeros(1, dtype=np.uint8)
+        two_i = np.zeros(2, dtype=np.int64)
+        for kind in (1, 2):
+            _mh_propose(offsets, targets, weights, 1, kind, 1.0, 1.0,
+                        one_i, one_i, one_i, one_f, one_f, one_f,
+                        out_i, out_f, out_f.copy(), out_b)
+            _mh_step(offsets, targets, weights, 1, kind, 1.0, 1.0,
+                     one_i, one_i, one_i, one_i, one_f, one_u8, one_f, one_f,
+                     out_i.copy(), out_f.copy(), out_i.copy(), two_i)
+            _rejection_round(offsets, targets, weights, 1, kind, 1.0, 1.0,
+                             one_f + 1.0, one_i, 1, True,
+                             one_i, one_i, one_f, one_f, one_f, 1.0, False,
+                             out_i, out_b)
+            _dyn_weights(offsets, targets, weights, 1, kind, 1.0, 1.0,
+                         one_i, one_i, out_f)
+            _mh_init_select(offsets, targets, weights, 1, kind, 1.0, 1.0,
+                            one_i, one_i, np.zeros((1, 1)), 1, 1, one_i.copy(),
+                            np.zeros(1, dtype=np.uint64), out_i, out_f)
+        _alias_draw(offsets, one_f + 1.0, one_i, 1, True, one_i, one_f, one_f, out_i)
+        _alias_draw(offsets, _EMPTY_F64, _EMPTY_I64, 0, False, one_i, one_f, one_f, out_i)
+        _state_alias_draw(offsets, one_i, one_f + 1.0, one_i, one_i + 1,
+                          np.ones(1, dtype=np.bool_), 1,
+                          one_i, one_i, one_f, one_f, out_i)
+        self._warm = True
+        return time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    def mh_propose(self, ks, prev, cur, last, last_w, u_cand, u_acc, weight_fn):
+        n = cur.size
+        weights = ks.weights if ks.weights is not None else _EMPTY_F64
+        has_w = 1 if ks.weights is not None else 0
+        cand = np.empty(n, dtype=np.int64)
+        w_cand = np.empty(n, dtype=np.float64)
+        w_last = np.empty(n, dtype=np.float64)
+        accept = np.empty(n, dtype=np.bool_)
+        _mh_propose(ks.offsets, ks.targets, weights, has_w,
+                    ks.kind_code, ks.p, ks.q,
+                    np.ascontiguousarray(prev, dtype=np.int64),
+                    np.ascontiguousarray(cur, dtype=np.int64),
+                    np.ascontiguousarray(last, dtype=np.int64),
+                    np.ascontiguousarray(last_w, dtype=np.float64),
+                    u_cand, u_acc, cand, w_cand, w_last, accept)
+        return cand, w_cand, w_last, accept
+
+    def mh_step(self, ks, idx, prev, cur, last, last_w, dead, u_cand, u_acc, weight_fn):
+        n = cur.size
+        weights = ks.weights if ks.weights is not None else _EMPTY_F64
+        has_w = 1 if ks.weights is not None else 0
+        out_next = np.empty(n, dtype=np.int64)
+        counts = np.zeros(2, dtype=np.int64)
+        _mh_step(ks.offsets, ks.targets, weights, has_w,
+                 ks.kind_code, ks.p, ks.q,
+                 np.ascontiguousarray(idx, dtype=np.int64),
+                 np.ascontiguousarray(prev, dtype=np.int64),
+                 np.ascontiguousarray(cur, dtype=np.int64),
+                 np.ascontiguousarray(last, dtype=np.int64),
+                 np.ascontiguousarray(last_w, dtype=np.float64),
+                 np.ascontiguousarray(dead, dtype=np.uint8),
+                 u_cand, u_acc, ks.chain_last, ks.chain_last_w,
+                 out_next, counts)
+        return out_next, int(counts[0]), int(counts[1])
+
+    def dyn_weights(self, ks, prev, offs, weight_fn):
+        weights = ks.weights if ks.weights is not None else _EMPTY_F64
+        has_w = 1 if ks.weights is not None else 0
+        out = np.empty(offs.size, dtype=np.float64)
+        _dyn_weights(ks.offsets, ks.targets, weights, has_w,
+                     ks.kind_code, ks.p, ks.q,
+                     np.ascontiguousarray(prev, dtype=np.int64),
+                     np.ascontiguousarray(offs, dtype=np.int64), out)
+        return out
+
+    def mh_init_select(self, ks, prev, cur, u, weight_fn):
+        weights = ks.weights if ks.weights is not None else _EMPTY_F64
+        has_w = 1 if ks.weights is not None else 0
+        u = np.ascontiguousarray(u, dtype=np.float64)
+        k, cap = u.shape
+        num_nodes = ks.offsets.size - 1
+        words = (num_nodes + 63) // 64
+        if self._mark is None or self._mark.size < words:
+            self._mark = np.zeros(words, dtype=np.uint64)
+        out_c = np.empty(k, dtype=np.int64)
+        out_w = np.empty(k, dtype=np.float64)
+        prev = np.ascontiguousarray(prev, dtype=np.int64)
+        order = np.argsort(prev, kind="stable")
+        _mh_init_select(ks.offsets, ks.targets, weights, has_w,
+                        ks.kind_code, ks.p, ks.q, prev,
+                        np.ascontiguousarray(cur, dtype=np.int64),
+                        u, cap, num_nodes, order, self._mark, out_c, out_w)
+        return out_c, out_w
+
+    def alias_draw(self, ks, nodes, u_slot, u_keep):
+        out = np.empty(nodes.size, dtype=np.int64)
+        if u_keep is None:
+            _alias_draw(ks.offsets, _EMPTY_F64, _EMPTY_I64, 0, False,
+                        np.ascontiguousarray(nodes, dtype=np.int64),
+                        u_slot, u_slot, out)
+        else:
+            _alias_draw(ks.offsets, ks.prop_threshold, ks.prop_alias,
+                        ks.prop_threshold.size, True,
+                        np.ascontiguousarray(nodes, dtype=np.int64),
+                        u_slot, u_keep, out)
+        return out
+
+    def state_alias_draw(self, ks, state_idx, cur, u_slot, u_keep):
+        out = np.empty(state_idx.size, dtype=np.int64)
+        _state_alias_draw(ks.offsets, ks.tab_base, ks.tab_threshold,
+                          ks.tab_alias, ks.tab_deg,
+                          np.ascontiguousarray(ks.tab_has, dtype=np.bool_),
+                          ks.tab_threshold.size,
+                          np.ascontiguousarray(state_idx, dtype=np.int64),
+                          np.ascontiguousarray(cur, dtype=np.int64),
+                          u_slot, u_keep, out)
+        return out
+
+    def rejection_round(self, ks, prev, cur, u_prop, u_keep, u_acc, bound, clip, weight_fn):
+        n = cur.size
+        weights = ks.weights if ks.weights is not None else _EMPTY_F64
+        has_w = 1 if ks.weights is not None else 0
+        out_off = np.empty(n, dtype=np.int64)
+        accept = np.empty(n, dtype=np.bool_)
+        if u_keep is None:
+            thresh, alias, tsize, weighted, keep = _EMPTY_F64, _EMPTY_I64, 0, False, u_prop
+        else:
+            thresh, alias = ks.prop_threshold, ks.prop_alias
+            tsize, weighted, keep = ks.prop_threshold.size, True, u_keep
+        _rejection_round(ks.offsets, ks.targets, weights, has_w,
+                         ks.kind_code, ks.p, ks.q,
+                         thresh, alias, tsize, weighted,
+                         np.ascontiguousarray(prev, dtype=np.int64),
+                         np.ascontiguousarray(cur, dtype=np.int64),
+                         u_prop, keep, u_acc, float(bound), bool(clip),
+                         out_off, accept)
+        return out_off, accept
+
+
+__all__ = ["NumbaKernels", "HAVE_NUMBA"]

@@ -1,0 +1,95 @@
+"""Flat kernel state: every array a step kernel may touch, in one bundle.
+
+The compiled-kernel layer works on plain contiguous ndarrays only — no
+graph objects, no model objects, no Python callbacks (the NumPy backend
+is the one exception: it receives a ``weight_fn`` for *generic* models
+whose dynamic weight has no compiled equivalent). :class:`KernelState`
+is that array bundle: the CSR arrays, the model's compiled weight spec,
+and whichever persistent sampler structures the owning stepper maintains
+(first-order proposal tables, per-state alias tables, M-H chain arrays).
+
+Steppers expose it via a ``kernel_state`` property built fresh on each
+access — the fields are *references* to the live arrays, so construction
+is O(1) and the bundle can never go stale across an ``on_delta`` rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Weight-rule identifiers understood by the compiled backends.  A model
+#: advertises one via :meth:`RandomWalkModel.kernel_spec`; ``"generic"``
+#: means "only the model's own :meth:`batch_dynamic_weight` can evaluate
+#: it", which restricts the engine to the NumPy backend.
+KIND_GENERIC = "generic"
+KIND_STATIC = "static"
+KIND_NODE2VEC = "node2vec"
+
+#: Integer codes for the compiled (numba / C) entry points.
+KIND_CODES = {KIND_GENERIC: 0, KIND_STATIC: 1, KIND_NODE2VEC: 2}
+
+
+@dataclass
+class KernelState:
+    """Array bundle handed to step kernels.
+
+    Graph fields are always present; the sampler-structure fields are
+    ``None`` unless the owning stepper maintains that structure. All
+    arrays are C-contiguous with the dtypes the CSR representation
+    guarantees (int64 offsets/targets/aliases, float64 weights and
+    thresholds, uint8/bool flags).
+    """
+
+    # -- CSR graph ------------------------------------------------------
+    offsets: np.ndarray
+    targets: np.ndarray
+    weights: np.ndarray | None = None
+
+    # -- model weight rule ---------------------------------------------
+    kind: str = KIND_GENERIC
+    p: float = 1.0
+    q: float = 1.0
+
+    # -- first-order proposal alias tables (None when uniform) ----------
+    prop_threshold: np.ndarray | None = None
+    prop_alias: np.ndarray | None = None
+
+    # -- per-state alias tables (eager second-order layout) -------------
+    tab_base: np.ndarray | None = None
+    tab_threshold: np.ndarray | None = None
+    tab_alias: np.ndarray | None = None
+    tab_deg: np.ndarray | None = None
+    tab_has: np.ndarray | None = None
+
+    # -- M-H chain arrays (LAST_x and its cached dynamic weight) --------
+    chain_last: np.ndarray | None = None
+    chain_last_w: np.ndarray | None = None
+
+    @property
+    def kind_code(self) -> int:
+        """Integer weight-rule code for the compiled entry points."""
+        return KIND_CODES.get(self.kind, 0)
+
+    @classmethod
+    def for_graph(cls, graph, model=None) -> "KernelState":
+        """Base bundle for ``graph``, stamped with ``model``'s weight spec."""
+        spec = model.kernel_spec() if model is not None else {"kind": KIND_GENERIC}
+        return cls(
+            offsets=graph.offsets,
+            targets=graph.targets,
+            weights=graph.weights,
+            kind=spec.get("kind", KIND_GENERIC),
+            p=float(spec.get("p", 1.0)),
+            q=float(spec.get("q", 1.0)),
+        )
+
+
+__all__ = [
+    "KernelState",
+    "KIND_GENERIC",
+    "KIND_STATIC",
+    "KIND_NODE2VEC",
+    "KIND_CODES",
+]

@@ -86,6 +86,21 @@ class ChainStore:
     Shared between the scalar sampler and the vectorized engine so chains
     persist across walk waves (the paper's samplers live for the whole
     training run and are initialised once, on first query).
+
+    The store is a plain two-array bundle sized by the flat state space —
+    the shape the compiled step kernels consume directly:
+
+    ``last``
+        int64, the resident edge offset of each chain (NO_EDGE = never
+        initialised).
+    ``last_w``
+        float64, the cached dynamic weight w'(LAST_x) of the resident
+        edge (NaN = not cached; kernels re-evaluate the model on NaN).
+        Sound because the model contract makes w' a pure function of
+        (state index, edge offset) — see
+        :meth:`~repro.walks.models.base.RandomWalkModel.kernel_spec`.
+        Anything that moves a chain without knowing the new weight must
+        write NaN into the matching slot.
     """
 
     def __init__(self, graph, model, *, budget=None):
@@ -93,6 +108,7 @@ class ChainStore:
         if budget is not None:
             budget.charge(mh_bytes(graph, model), "mh-chains")
         self.last = np.full(self.size, NO_EDGE, dtype=np.int64)
+        self.last_w = np.full(self.size, np.nan, dtype=np.float64)
         self._graph = graph
         self._model = model
 
@@ -104,6 +120,7 @@ class ChainStore:
     def reset(self) -> None:
         """Forget every chain position."""
         self.last.fill(NO_EDGE)
+        self.last_w.fill(np.nan)
 
     def on_delta(self, plan, model=None) -> dict:
         """Revalidate every chain across a graph delta (in place).
@@ -117,6 +134,11 @@ class ChainStore:
         model = self._model if model is None else model
         new_last, invalidated = remap_chain_array(self.last, model, plan)
         self.last = new_last
+        # the weight cache cannot survive a delta: a reweighted edge (or,
+        # for second-order models, a changed predecessor row) can alter
+        # w'(LAST_x) even when the resident edge itself was untouched, so
+        # every surviving chain re-evaluates once on next visit
+        self.last_w = np.full(new_last.size, np.nan, dtype=np.float64)
         self.size = new_last.size
         self._graph = plan.new_graph
         self._model = model
@@ -128,7 +150,7 @@ class ChainStore:
 
     def memory_bytes(self) -> int:
         """Resident bytes — the O(#state) footprint of Section III-A."""
-        return self.last.nbytes
+        return self.last.nbytes + self.last_w.nbytes
 
     def decompose(self, state_index: int) -> tuple[int, int]:
         """Split a flat state index into its (position, affixture) pair.

@@ -190,6 +190,25 @@ class RandomWalkModel(abc.ABC):
             return cur.astype(np.int64, copy=True)
         return prev_off.astype(np.int64, copy=True)
 
+    def kernel_spec(self) -> dict:
+        """Weight rule for the compiled step kernels (:mod:`repro.walks.kernels`).
+
+        A dict whose ``"kind"`` selects how a compiled backend evaluates
+        this model's dynamic weight without calling back into Python:
+        ``"static"`` (weight = static edge weight), ``"node2vec"`` (keys
+        ``p``/``q``), or ``"generic"`` — no compiled rule exists, so only
+        the NumPy backend (which evaluates
+        :meth:`batch_dynamic_weight` directly) can drive the walk and
+        the engine falls back to it.
+
+        Contract every model must honour regardless of kind: the dynamic
+        weight of an edge is a pure function of ``(state index, edge
+        offset)`` — the same invariant that makes one M-H chain per state
+        meaningful, and which lets the engine cache w'(LAST_x) alongside
+        the chain array.
+        """
+        return {"kind": "static"} if self.is_static else {"kind": "generic"}
+
     def enumerate_state_contexts(self, graph) -> dict[str, np.ndarray]:
         """Walker contexts for every flat state index (for eager tables).
 

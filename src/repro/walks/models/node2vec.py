@@ -59,6 +59,12 @@ class Node2Vec(RandomWalkModel):
         alpha[prev == NO_PREVIOUS] = 1.0
         return w * alpha
 
+    def kernel_spec(self) -> dict:
+        """Compiled backends evaluate α with the same ``w · (1/p)`` /
+        ``w · (1/q)`` products as :meth:`batch_dynamic_weight`, so the
+        corpora stay bitwise-identical across backends."""
+        return {"kind": "node2vec", "p": self.p, "q": self.q}
+
     # ------------------------------------------------------------------
     # rejection support
     # ------------------------------------------------------------------

@@ -13,16 +13,20 @@ the order shards happen to complete — so a fixed seed reproduces the
 identical merged corpus on 1, 4 or 16 workers. Workers are purely a
 concurrency knob.
 
-Two fidelity notes:
+Graph transport: the parent exports the CSR arrays into
+``multiprocessing.shared_memory`` segments and workers wrap zero-copy
+ndarray views of them in a trusted (validation-free) ``CSRGraph``, so
+the network is stored **once** system-wide — the shared in-memory
+storage of the paper's threaded engine — instead of being pickled to or
+copy-on-write-duplicated in every worker. When shared memory is
+unavailable the code falls back to shipping the graph object itself.
 
-* On fork-based platforms (Linux) the CSR graph is shared copy-on-write,
-  mirroring the shared in-memory network storage of the original.
-* M-H chain state is *per shard* here (processes cannot cheaply share
-  the LAST_x array), so states visited by several shards run independent
-  chains. The sampled law is unchanged — each chain still converges to
-  G_x — only cross-walker chain reuse is lost, which affects constant
-  factors, not correctness; the same trade-off the paper accepts for
-  lock-free threading.
+M-H chain state remains *per shard* (chains are scratch, not the
+network), so states visited by several shards run independent chains.
+The sampled law is unchanged — each chain still converges to G_x — only
+cross-walker chain reuse is lost, which affects constant factors, not
+correctness; the same trade-off the paper accepts for lock-free
+threading.
 """
 
 from __future__ import annotations
@@ -42,14 +46,90 @@ from repro.walks.corpus import WalkCorpus
 #: per-shard engine setup stays negligible.
 DEFAULT_NUM_SHARDS = 16
 
+#: CSRGraph array slots exported to shared memory (None slots skipped).
+_GRAPH_FIELDS = ("offsets", "targets", "weights", "node_types", "edge_types")
+
 # module-level worker state (populated per process via the initializer)
 _WORKER = {}
 
 
-def _init_worker(graph, model_name_or_obj, sampler, engine_kwargs, model_params):
+def _export_shared_graph(segments: list, graph):
+    """Copy the CSR arrays into shared-memory segments (parent side).
+
+    Created segments are appended to ``segments`` *as they are created*
+    so the caller can close+unlink everything even when a later
+    allocation fails mid-way. Returns the payload workers attach with:
+    ``("shm", specs, meta)`` where each spec is
+    ``(field, segment_name, shape, dtype_str)``.
+    """
+    from multiprocessing import shared_memory
+
+    specs = []
+    for field in _GRAPH_FIELDS:
+        arr = getattr(graph, field)
+        if arr is None:
+            continue
+        shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+        segments.append(shm)
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+        specs.append((field, shm.name, arr.shape, arr.dtype.str))
+    meta = {
+        "num_node_types": graph.num_node_types,
+        "num_edge_types": graph.num_edge_types,
+    }
+    return ("shm", specs, meta)
+
+
+def _release_segments(segments: list, *, unlink: bool) -> None:
+    """Close (and optionally unlink) shared-memory segments, best-effort."""
+    for shm in segments:
+        try:
+            shm.close()
+            if unlink:
+                shm.unlink()
+        except OSError:
+            pass
+
+
+def _attach_shared_graph(specs, meta):
+    """Worker side: wrap the parent's segments in a zero-copy CSRGraph.
+
+    The returned segment handles must stay referenced for the process
+    lifetime — dropping them would unmap the buffers under the views.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.graph.csr import CSRGraph
+
+    arrays = dict.fromkeys(_GRAPH_FIELDS)
+    segments = []
+    for field, name, shape, dtype in specs:
+        shm = shared_memory.SharedMemory(name=name)
+        segments.append(shm)
+        arrays[field] = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf)
+    graph = CSRGraph._from_trusted_arrays(
+        arrays["offsets"],
+        arrays["targets"],
+        arrays["weights"],
+        arrays["node_types"],
+        arrays["edge_types"],
+        num_node_types=meta["num_node_types"],
+        num_edge_types=meta["num_edge_types"],
+    )
+    return graph, segments
+
+
+def _init_worker(graph_payload, model_name_or_obj, sampler, engine_kwargs, model_params):
     from repro.walks.models import make_model
     from repro.walks.vectorized import VectorizedWalkEngine
 
+    kind = graph_payload[0]
+    if kind == "shm":
+        __, specs, meta = graph_payload
+        graph, segments = _attach_shared_graph(specs, meta)
+        _WORKER["segments"] = segments  # keep the views mapped
+    else:
+        graph = graph_payload[1]
     model = make_model(model_name_or_obj, graph, **model_params)
     _WORKER["engine_factory"] = lambda seed: VectorizedWalkEngine(
         graph, model, sampler=sampler, seed=seed, **engine_kwargs
@@ -137,6 +217,10 @@ def parallel_generate_stream(
     one window of shards is in flight at a time — a slow consumer gates
     the producers instead of the whole corpus piling up in completed
     futures.
+
+    Pass kernel-backend and other engine options via ``engine_kwargs``
+    (e.g. ``engine_kwargs={"backend": "cnative"}``); each worker
+    compiles once per process, not once per shard.
     """
     jobs = _prepare(
         graph, model, num_walks, walk_length, start_nodes, seed, shard_walks,
@@ -148,39 +232,53 @@ def parallel_generate_stream(
     num_workers = min(num_workers, len(jobs))
 
     if num_workers == 1:
-        _init_worker(graph, model, sampler, engine_kwargs or {}, model_params)
+        _init_worker(("inline", graph), model, sampler, engine_kwargs or {}, model_params)
         for index, job in enumerate(jobs):
             walks, lengths = _run_shard(job)
             yield index, WalkCorpus(walks, lengths)
         return
 
-    window = 2 * num_workers
-    with ProcessPoolExecutor(
-        max_workers=num_workers,
-        initializer=_init_worker,
-        initargs=(graph, model, sampler, engine_kwargs or {}, model_params),
-    ) as pool:
-        next_job = 0
-        if in_order:
-            pending: deque = deque()
-            while next_job < len(jobs) or pending:
-                while next_job < len(jobs) and len(pending) < window:
-                    pending.append((next_job, pool.submit(_run_shard, jobs[next_job])))
-                    next_job += 1
-                index, future = pending.popleft()
-                walks, lengths = future.result()
-                yield index, WalkCorpus(walks, lengths)
-        else:
-            futures: dict = {}
-            while next_job < len(jobs) or futures:
-                while next_job < len(jobs) and len(futures) < window:
-                    futures[pool.submit(_run_shard, jobs[next_job])] = next_job
-                    next_job += 1
-                done, __ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = futures.pop(future)
+    segments: list = []
+    try:
+        try:
+            payload = _export_shared_graph(segments, graph)
+        except (OSError, ImportError, ValueError):
+            # no usable shared memory on this platform: ship the graph
+            # object itself (pickled under spawn, COW-shared under fork)
+            _release_segments(segments, unlink=True)
+            segments = []
+            payload = ("pickle", graph)
+        window = 2 * num_workers
+        with ProcessPoolExecutor(
+            max_workers=num_workers,
+            initializer=_init_worker,
+            initargs=(payload, model, sampler, engine_kwargs or {}, model_params),
+        ) as pool:
+            next_job = 0
+            if in_order:
+                pending: deque = deque()
+                while next_job < len(jobs) or pending:
+                    while next_job < len(jobs) and len(pending) < window:
+                        pending.append((next_job, pool.submit(_run_shard, jobs[next_job])))
+                        next_job += 1
+                    index, future = pending.popleft()
                     walks, lengths = future.result()
                     yield index, WalkCorpus(walks, lengths)
+            else:
+                futures: dict = {}
+                while next_job < len(jobs) or futures:
+                    while next_job < len(jobs) and len(futures) < window:
+                        futures[pool.submit(_run_shard, jobs[next_job])] = next_job
+                        next_job += 1
+                    done, __ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures.pop(future)
+                        walks, lengths = future.result()
+                        yield index, WalkCorpus(walks, lengths)
+    finally:
+        # the pool has shut down (context exit) before we release, so no
+        # worker still holds a view into the segments
+        _release_segments(segments, unlink=True)
 
 
 def parallel_generate(

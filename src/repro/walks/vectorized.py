@@ -43,6 +43,12 @@ from repro.sampling.memory_model import (
 from repro.utils.rng import as_rng
 from repro.walks._segments import concat_ranges, segment_argmax, segment_sample
 from repro.walks.corpus import WalkCorpus
+from repro.walks.kernels import (
+    KERNEL_REGISTRY,
+    KernelState,
+    default_backend,
+    resolve_backend,
+)
 from repro.walks.manager import ChainStore
 from repro.walks.models import make_model
 
@@ -69,9 +75,12 @@ class StepperBase:
 
     name = "abstract"
 
-    def __init__(self, graph, model):
+    def __init__(self, graph, model, kernels=None):
         self.graph = graph
         self.model = model
+        #: Kernel backend driving the hot loops (``repro.walks.kernels``);
+        #: the engine injects the configured one via the SamplerContext.
+        self.kernels = kernels if kernels is not None else default_backend()
         self.samples = 0
         self.proposals = 0
         self.accepts = 0
@@ -88,6 +97,46 @@ class StepperBase:
         lo = self.graph.offsets[cur]
         deg = self.graph.offsets[cur + 1] - lo
         return lo, deg
+
+    @property
+    def kernel_state(self) -> KernelState:
+        """Flat array bundle the step kernels consume.
+
+        Rebuilt on access from references to the live arrays (O(1)), so
+        it can never go stale across an ``on_delta`` rebuild. Subclasses
+        contribute their persistent structures via
+        :meth:`_extend_kernel_state`.
+        """
+        ks = KernelState.for_graph(self.graph, self.model)
+        self._extend_kernel_state(ks)
+        return ks
+
+    def _extend_kernel_state(self, ks: KernelState) -> None:
+        """Attach sampler-owned arrays (tables, chains) to ``ks``."""
+
+    def _weight_fn(self, prev, prev_off, cur, step, sel=None):
+        """Dynamic-weight closure for kernels that lack a compiled rule.
+
+        The returned ``weight_fn(offs, lanes=None)`` evaluates the
+        model's batch weights for the wave (optionally pre-restricted to
+        the ``sel`` lanes, e.g. a rejection sampler's pending set);
+        ``lanes`` further subsets the call — the NumPy backend uses it to
+        evaluate only M-H cache-miss lanes. Weight evaluation consumes
+        no RNG, so backends may call this zero or more times without
+        perturbing the engine's uniform stream.
+        """
+
+        def weight_fn(offs, lanes=None):
+            p, po, c, s = prev, prev_off, cur, step
+            if sel is not None:
+                p, po, c = p[sel], po[sel], c[sel]
+                s = s[sel] if isinstance(s, np.ndarray) else s
+            if lanes is not None:
+                p, po, c = p[lanes], po[lanes], c[lanes]
+                s = s[lanes] if isinstance(s, np.ndarray) else s
+            return self.model.batch_dynamic_weight(p, po, c, s, offs)
+
+        return weight_fn
 
     def _expanded_row_weights(self, prev, prev_off, cur, step, rng=None):
         """Flatten the active walkers' rows and evaluate dynamic weights."""
@@ -179,8 +228,8 @@ class _FirstOrderAliasStepper(StepperBase):
 
     name = "alias-first-order"
 
-    def __init__(self, graph, model, budget=None):
-        super().__init__(graph, model)
+    def __init__(self, graph, model, budget=None, kernels=None):
+        super().__init__(graph, model, kernels)
         if not model.is_static:
             raise WalkError(
                 f"first-order alias sampling is exact only for static models; "
@@ -190,8 +239,16 @@ class _FirstOrderAliasStepper(StepperBase):
             budget.charge(first_order_alias_bytes(graph), self.name)
         self.store = FirstOrderAliasStore(graph)
 
+    def _extend_kernel_state(self, ks: KernelState) -> None:
+        ks.prop_threshold = self.store.threshold
+        ks.prop_alias = self.store.alias
+
     def step(self, prev, prev_off, cur, step, rng):
-        out = self.store.draw_batch(cur, rng)
+        # one uniform for the slot, a second only when tables exist —
+        # the exact RNG consumption of FirstOrderAliasStore.draw_batch
+        u_slot = rng.random(cur.size)
+        u_keep = None if self.store.uniform else rng.random(cur.size)
+        out = self.kernels.alias_draw(self.kernel_state, cur, u_slot, u_keep)
         self.proposals += cur.size
         self.samples += int((out != NO_EDGE).sum())
         return out
@@ -363,16 +420,27 @@ class _StateAliasStepper(StepperBase):
 
     name = "alias"
 
-    def __init__(self, graph, model, budget=None):
-        super().__init__(graph, model)
+    def __init__(self, graph, model, budget=None, kernels=None):
+        super().__init__(graph, model, kernels)
         if budget is not None:
             budget.charge(second_order_alias_bytes(graph, model), self.name)
         self.tables = EagerStateAliasTables(graph, model)
         self.initializations += self.tables.num_tables
 
+    def _extend_kernel_state(self, ks: KernelState) -> None:
+        tables = self.tables
+        ks.tab_base = tables.base
+        ks.tab_threshold = tables.threshold
+        ks.tab_alias = tables.alias_local
+        ks.tab_deg = tables.table_deg
+        ks.tab_has = tables.has_table
+
     def step(self, prev, prev_off, cur, step, rng):
         idx = self.model.batch_state_index(prev_off, cur, step)
-        out = self.tables.draw(idx, cur, rng)
+        # two uniforms per walker — the RNG consumption of tables.draw
+        u_slot = rng.random(cur.size)
+        u_keep = rng.random(cur.size)
+        out = self.kernels.state_alias_draw(self.kernel_state, idx, cur, u_slot, u_keep)
         self.proposals += cur.size
         self.samples += int((out != NO_EDGE).sum())
         return out
@@ -401,8 +469,17 @@ class _MemoryAwareStepper(StepperBase):
 
     name = "memory-aware"
 
-    def __init__(self, graph, model, table_budget_bytes, *, max_rounds: int = 10_000, budget=None):
-        super().__init__(graph, model)
+    def __init__(
+        self,
+        graph,
+        model,
+        table_budget_bytes,
+        *,
+        max_rounds: int = 10_000,
+        budget=None,
+        kernels=None,
+    ):
+        super().__init__(graph, model, kernels)
         if budget is not None:
             budget.charge(int(table_budget_bytes), self.name)
         self.table_budget_bytes = int(table_budget_bytes)
@@ -411,6 +488,16 @@ class _MemoryAwareStepper(StepperBase):
         self.initializations += self.tables.num_tables
         self.proposal = FirstOrderAliasStore(graph)
         self.max_rounds = max_rounds
+
+    def _extend_kernel_state(self, ks: KernelState) -> None:
+        tables = self.tables
+        ks.tab_base = tables.base
+        ks.tab_threshold = tables.threshold
+        ks.tab_alias = tables.alias_local
+        ks.tab_deg = tables.table_deg
+        ks.tab_has = tables.has_table
+        ks.prop_threshold = self.proposal.threshold
+        ks.prop_alias = self.proposal.alias
 
     def _refresh(self, plan) -> dict:
         # the greedy assignment is a global function of the degree
@@ -433,7 +520,10 @@ class _MemoryAwareStepper(StepperBase):
 
     def step(self, prev, prev_off, cur, step, rng):
         idx = self.model.batch_state_index(prev_off, cur, step)
-        out = self.tables.draw(idx, cur, rng)
+        ks = self.kernel_state
+        u_slot = rng.random(cur.size)
+        u_keep = rng.random(cur.size)
+        out = self.kernels.state_alias_draw(ks, idx, cur, u_slot, u_keep)
         self.proposals += cur.size
         # everything without a table (unassigned or zero-weight state)
         # falls back to rejection sampling
@@ -446,16 +536,20 @@ class _MemoryAwareStepper(StepperBase):
             for __ in range(self.max_rounds):
                 if pending.size == 0:
                     break
-                off = self.proposal.draw_batch(cur[pending], rng)
-                w_static = np.asarray(
-                    self.graph.edge_weight_at(np.maximum(off, 0)), dtype=np.float64
+                u_prop = rng.random(pending.size)
+                u_keep2 = None if self.proposal.uniform else rng.random(pending.size)
+                u_acc = rng.random(pending.size)
+                off, accept = self.kernels.rejection_round(
+                    ks,
+                    prev[pending],
+                    cur[pending],
+                    u_prop,
+                    u_keep2,
+                    u_acc,
+                    bound,
+                    False,
+                    self._weight_fn(prev, prev_off, cur, step, sel=pending),
                 )
-                step_arr = step[pending] if isinstance(step, np.ndarray) else step
-                w_dyn = self.model.batch_dynamic_weight(
-                    prev[pending], prev_off[pending], cur[pending], step_arr,
-                    np.maximum(off, 0),
-                )
-                accept = (off >= 0) & (rng.random(pending.size) * bound * w_static < w_dyn)
                 out[pending[accept]] = off[accept]
                 pending = pending[~accept]
         self.samples += int((out != NO_EDGE).sum())
@@ -468,8 +562,10 @@ class _MemoryAwareStepper(StepperBase):
 class _RejectionStepper(StepperBase):
     """Vectorized rejection sampling, optionally with outlier folding."""
 
-    def __init__(self, graph, model, *, fold: bool, max_rounds: int = 10_000, budget=None):
-        super().__init__(graph, model)
+    def __init__(
+        self, graph, model, *, fold: bool, max_rounds: int = 10_000, budget=None, kernels=None
+    ):
+        super().__init__(graph, model, kernels)
         self.name = "knightking" if fold else "rejection"
         if budget is not None:
             budget.charge(rejection_bytes(graph), self.name)
@@ -481,6 +577,10 @@ class _RejectionStepper(StepperBase):
             and hasattr(model, "batch_outlier_excess")
         )
         self.row_totals = graph.weight_row_sums() if self.fold else None
+
+    def _extend_kernel_state(self, ks: KernelState) -> None:
+        ks.prop_threshold = self.proposal.threshold
+        ks.prop_alias = self.proposal.alias
 
     def step(self, prev, prev_off, cur, step, rng):
         out = np.full(cur.size, NO_EDGE, dtype=np.int64)
@@ -497,22 +597,31 @@ class _RejectionStepper(StepperBase):
 
     def _step_plain(self, out, pending, prev, prev_off, cur, step, rng):
         bound = self.model.alpha_bound(self.graph)
+        ks = self.kernel_state
         for __ in range(self.max_rounds):
             if pending.size == 0:
                 return
-            off = self.proposal.draw_batch(cur[pending], rng)
             self.proposals += pending.size
-            w_static = np.asarray(self.graph.edge_weight_at(np.maximum(off, 0)), dtype=np.float64)
-            step_arr = step[pending] if isinstance(step, np.ndarray) else step
-            w_dyn = self.model.batch_dynamic_weight(
-                prev[pending], prev_off[pending], cur[pending], step_arr, np.maximum(off, 0)
+            u_prop = rng.random(pending.size)
+            u_keep = None if self.proposal.uniform else rng.random(pending.size)
+            u_acc = rng.random(pending.size)
+            off, accept = self.kernels.rejection_round(
+                ks,
+                prev[pending],
+                cur[pending],
+                u_prop,
+                u_keep,
+                u_acc,
+                bound,
+                False,
+                self._weight_fn(prev, prev_off, cur, step, sel=pending),
             )
-            accept = (off >= 0) & (rng.random(pending.size) * bound * w_static < w_dyn)
             out[pending[accept]] = off[accept]
             pending = pending[~accept]
 
     def _step_folded(self, out, pending, prev, prev_off, cur, step, rng):
         bulk = self.model.bulk_bound
+        ks = self.kernel_state
         rev, excess = self.model.batch_outlier_excess(prev, cur)
         envelope = bulk * self.row_totals[cur]
         total = excess + envelope
@@ -522,6 +631,8 @@ class _RejectionStepper(StepperBase):
             if pending.size == 0:
                 return
             self.proposals += pending.size
+            # outlier-vs-bulk split stays in the driver: it is one draw
+            # against model-specific excess mass, not a hot loop
             r = rng.random(pending.size) * total[pending]
             hit_outlier = r < excess[pending]
             chosen_out = pending[hit_outlier]
@@ -530,18 +641,20 @@ class _RejectionStepper(StepperBase):
             if bulk_pending.size == 0:
                 pending = bulk_pending
                 continue
-            off = self.proposal.draw_batch(cur[bulk_pending], rng)
-            w_static = np.asarray(self.graph.edge_weight_at(np.maximum(off, 0)), dtype=np.float64)
-            step_arr = step[bulk_pending] if isinstance(step, np.ndarray) else step
-            w_dyn = self.model.batch_dynamic_weight(
+            u_prop = rng.random(bulk_pending.size)
+            u_keep = None if self.proposal.uniform else rng.random(bulk_pending.size)
+            u_acc = rng.random(bulk_pending.size)
+            off, accept = self.kernels.rejection_round(
+                ks,
                 prev[bulk_pending],
-                prev_off[bulk_pending],
                 cur[bulk_pending],
-                step_arr,
-                np.maximum(off, 0),
+                u_prop,
+                u_keep,
+                u_acc,
+                bulk,
+                True,
+                self._weight_fn(prev, prev_off, cur, step, sel=bulk_pending),
             )
-            clipped = np.minimum(w_dyn, bulk * w_static)
-            accept = (off >= 0) & (rng.random(bulk_pending.size) * bulk * w_static < clipped)
             out[bulk_pending[accept]] = off[accept]
             pending = bulk_pending[~accept]
 
@@ -588,8 +701,9 @@ class _MHStepper(StepperBase):
         burn_in_iterations: int = 100,
         chain_store: ChainStore | None = None,
         budget=None,
+        kernels=None,
     ):
-        super().__init__(graph, model)
+        super().__init__(graph, model, kernels)
         if not isinstance(initializer, str) and hasattr(initializer, "initialize"):
             # a bound initializer instance: use its scalar protocol directly
             self.strategy = getattr(initializer, "name", "custom")
@@ -611,12 +725,17 @@ class _MHStepper(StepperBase):
             chain_store = ChainStore(graph, model)
         self.chains = chain_store
 
+    def _extend_kernel_state(self, ks: KernelState) -> None:
+        ks.chain_last = self.chains.last
+        ks.chain_last_w = self.chains.last_w
+
     # ------------------------------------------------------------------
     def step(self, prev, prev_off, cur, step, rng):
-        lo, deg = self._rows(cur)
+        __, deg = self._rows(cur)
         alive = deg > 0
         idx = self.model.batch_state_index(prev_off, cur, step)
         last = self.chains.last[idx].copy()
+        last_w = self.chains.last_w[idx].copy()
 
         uninit = (last == NO_EDGE) & alive
         if uninit.any():
@@ -625,27 +744,51 @@ class _MHStepper(StepperBase):
                 prev[uninit], prev_off[uninit], cur[uninit], step, rng
             )
             last[uninit] = init_vals
+            last_w[uninit] = np.nan  # fresh chains have no cached weight
             self.initializations += int(uninit.sum())
             self.init_seconds += time.perf_counter() - t0
 
         dead = ~alive | (last == NO_EDGE)
         k = cur.size
-        # Algorithm 1: uniform candidate, acceptance min(1, w'_cand/w'_last)
-        cand = lo + (rng.random(k) * np.maximum(deg, 1)).astype(np.int64)
-        w_cand = self.model.batch_dynamic_weight(prev, prev_off, cur, step, cand)
-        w_last = self.model.batch_dynamic_weight(
-            prev, prev_off, cur, step, np.maximum(last, 0)
+        # Algorithm 1: uniform candidate, acceptance min(1, w'_cand/w'_last).
+        # Both uniforms are pre-drawn (weight evaluation consumes no RNG),
+        # so every kernel backend sees the identical stream. The kernel
+        # fuses propose + accept + the LAST_x/weight scatter back into the
+        # shared chain arrays (lane order, so duplicate-state races
+        # resolve last-writer-wins for the *pair* on every backend).
+        u_cand = rng.random(k)
+        u_acc = rng.random(k)
+        nxt, n_ok, n_acc = self.kernels.mh_step(
+            self.kernel_state,
+            idx,
+            prev,
+            cur,
+            last,
+            last_w,
+            dead,
+            u_cand,
+            u_acc,
+            self._weight_fn(prev, prev_off, cur, step),
         )
-        accept = (w_cand > 0.0) & ((w_last <= 0.0) | (rng.random(k) * w_last < w_cand))
-        new_last = np.where(accept & ~dead, cand, last)
-        ok = ~dead
-        self.chains.last[idx[ok]] = new_last[ok]
-        self.proposals += int(ok.sum())
-        self.accepts += int((accept & ok).sum())
-        self.samples += int(ok.sum())
-        return np.where(ok, new_last, NO_EDGE)
+        self.proposals += n_ok
+        self.accepts += n_acc
+        self.samples += n_ok
+        return nxt
 
     # ------------------------------------------------------------------
+    def _batch_weights(self, prev0, prev_off0, cur0, step, offs):
+        """Model weight of aligned candidate lanes, through the kernels.
+
+        A compiled backend evaluates its weight rule in one pass (the
+        initializers' inner product — on second-order models each
+        candidate costs a binary search); the NumPy backend defers to
+        ``model.batch_dynamic_weight`` via the ``weight_fn`` closure.
+        """
+        return self.kernels.dyn_weights(
+            self.kernel_state, prev0, offs,
+            self._weight_fn(prev0, prev_off0, cur0, step),
+        )
+
     def _initialize(self, prev0, prev_off0, cur0, step, rng):
         if self.custom_initializer is not None:
             return self._init_custom(prev0, prev_off0, cur0, step, rng)
@@ -678,7 +821,7 @@ class _MHStepper(StepperBase):
     def _init_random(self, prev0, prev_off0, cur0, step, rng):
         lo, deg = self._rows(cur0)
         cand = lo + (rng.random(cur0.size) * np.maximum(deg, 1)).astype(np.int64)
-        w = self.model.batch_dynamic_weight(prev0, prev_off0, cur0, step, cand)
+        w = self._batch_weights(prev0, prev_off0, cur0, step, cand)
         bad = w <= 0.0
         if bad.any():
             cand[bad] = self._support_uniform(
@@ -691,17 +834,22 @@ class _MHStepper(StepperBase):
         if cap is None:
             return self._exact_argmax(prev0, prev_off0, cur0, step)
         k = cur0.size
-        lo, deg = self._rows(cur0)
-        cand = lo[:, None] + (rng.random((k, cap)) * np.maximum(deg, 1)[:, None]).astype(np.int64)
-        flat = cand.ravel()
-        step_arr = np.repeat(step, cap) if isinstance(step, np.ndarray) else step
-        w = self.model.batch_dynamic_weight(
-            np.repeat(prev0, cap), np.repeat(prev_off0, cap), np.repeat(cur0, cap), step_arr, flat
-        ).reshape(k, cap)
-        best = np.argmax(w, axis=1)
-        rows = np.arange(k)
-        result = cand[rows, best]
-        bad = w[rows, best] <= 0.0
+        u = rng.random((k, cap))
+
+        def flat_weight_fn(offs, lanes=None):
+            # only the NumPy backend calls this; the repeats stay lazy so
+            # compiled backends (which read prev0 directly) skip them
+            step_arr = np.repeat(step, cap) if isinstance(step, np.ndarray) else step
+            wf = self._weight_fn(
+                np.repeat(prev0, cap), np.repeat(prev_off0, cap),
+                np.repeat(cur0, cap), step_arr,
+            )
+            return wf(offs, lanes)
+
+        result, w_best = self.kernels.mh_init_select(
+            self.kernel_state, prev0, cur0, u, flat_weight_fn
+        )
+        bad = w_best <= 0.0
         if bad.any():
             # subsample may have missed the support entirely; fall back to
             # the exact row argmax for those few states
@@ -711,13 +859,13 @@ class _MHStepper(StepperBase):
     def _init_burn_in(self, prev0, prev_off0, cur0, step, rng):
         lo, deg = self._rows(cur0)
         last = self._init_random(prev0, prev_off0, cur0, step, rng)
-        w_last = self.model.batch_dynamic_weight(
+        w_last = self._batch_weights(
             prev0, prev_off0, cur0, step, np.maximum(last, 0)
         )
         k = cur0.size
         for __ in range(self.burn_in_iterations):
             cand = lo + (rng.random(k) * np.maximum(deg, 1)).astype(np.int64)
-            w_cand = self.model.batch_dynamic_weight(prev0, prev_off0, cur0, step, cand)
+            w_cand = self._batch_weights(prev0, prev_off0, cur0, step, cand)
             accept = (w_cand > 0.0) & ((w_last <= 0.0) | (rng.random(k) * w_last < w_cand))
             last = np.where(accept & (last != NO_EDGE), cand, last)
             w_last = np.where(accept, w_cand, w_last)
@@ -762,14 +910,15 @@ def _mh_stepper_factory(graph, model, ctx):
         burn_in_iterations=ctx.burn_in_iterations,
         chain_store=ctx.chain_store,
         budget=ctx.budget,
+        kernels=ctx.kernels,
     )
 
 
 def _alias_stepper_factory(graph, model, ctx):
     # static models collapse the per-state tables to one table per node
     if model.is_static:
-        return _FirstOrderAliasStepper(graph, model, budget=ctx.budget)
-    return _StateAliasStepper(graph, model, budget=ctx.budget)
+        return _FirstOrderAliasStepper(graph, model, budget=ctx.budget, kernels=ctx.kernels)
+    return _StateAliasStepper(graph, model, budget=ctx.budget, kernels=ctx.kernels)
 
 
 def _memory_aware_stepper_factory(graph, model, ctx):
@@ -781,6 +930,7 @@ def _memory_aware_stepper_factory(graph, model, ctx):
         ctx.table_budget_bytes,
         max_rounds=ctx.max_reject_rounds,
         budget=ctx.budget,
+        kernels=ctx.kernels,
     )
 
 
@@ -809,7 +959,9 @@ SAMPLER_REGISTRY.register(
 )
 SAMPLER_REGISTRY.register(
     "alias-first-order",
-    lambda graph, model, ctx: _FirstOrderAliasStepper(graph, model, budget=ctx.budget),
+    lambda graph, model, ctx: _FirstOrderAliasStepper(
+        graph, model, budget=ctx.budget, kernels=ctx.kernels
+    ),
     second_order=False,
     time_per_sample="O(1)",
     memory="O(|E|)",
@@ -817,7 +969,12 @@ SAMPLER_REGISTRY.register(
 SAMPLER_REGISTRY.register(
     "rejection",
     lambda graph, model, ctx: _RejectionStepper(
-        graph, model, fold=False, max_rounds=ctx.max_reject_rounds, budget=ctx.budget
+        graph,
+        model,
+        fold=False,
+        max_rounds=ctx.max_reject_rounds,
+        budget=ctx.budget,
+        kernels=ctx.kernels,
     ),
     second_order=True,
     time_per_sample="O(1/theta)",
@@ -826,7 +983,12 @@ SAMPLER_REGISTRY.register(
 SAMPLER_REGISTRY.register(
     "knightking",
     lambda graph, model, ctx: _RejectionStepper(
-        graph, model, fold=True, max_rounds=ctx.max_reject_rounds, budget=ctx.budget
+        graph,
+        model,
+        fold=True,
+        max_rounds=ctx.max_reject_rounds,
+        budget=ctx.budget,
+        kernels=ctx.kernels,
     ),
     second_order=True,
     time_per_sample="O(1/theta')",
@@ -875,11 +1037,22 @@ class VectorizedWalkEngine:
     budget:
         Optional :class:`~repro.sampling.memory_model.MemoryBudget`; the
         sampler's footprint is charged at construction (simulated OOM).
+    backend:
+        Kernel backend driving the step hot loops, resolved through
+        :data:`repro.registry.KERNEL_REGISTRY`: ``"numpy"`` (default,
+        always available), ``"numba"`` or ``"cnative"``. Requesting a
+        backend whose dependency is missing raises
+        :class:`~repro.errors.ConfigError`; a compiled backend that
+        cannot evaluate the model's weight rule (a *generic*
+        ``kernel_spec``) silently falls back to NumPy — ``stats()``
+        reports both ``requested_backend`` and the effective ``backend``.
 
     The constructor performs all sampler preprocessing; its duration is
     exposed as :attr:`setup_seconds` and lazily accrued M-H
     initialization time as ``stats()["init_seconds"]`` — together they
-    form the paper's ``Ti``.
+    form the paper's ``Ti``. One-time kernel compilation is booked
+    separately as :attr:`compile_seconds` (also inside
+    ``setup_seconds``), so walks/sec comparisons can exclude warm-up.
     """
 
     def __init__(
@@ -895,11 +1068,21 @@ class VectorizedWalkEngine:
         chain_store=None,
         max_reject_rounds: int = 10_000,
         budget=None,
+        backend: str = "numpy",
         seed=None,
         **model_params,
     ):
         self.graph = graph
         self.model = make_model(model, graph, **model_params)
+        start = time.perf_counter()
+        self.requested_backend = KERNEL_REGISTRY.canonical(backend)
+        kernels = resolve_backend(self.requested_backend)
+        if not kernels.supports(self.model.kernel_spec()):
+            # generic weight rule: only the NumPy backend can evaluate it
+            kernels = resolve_backend("numpy")
+        self.kernels = kernels
+        self.backend = kernels.name
+        self.compile_seconds = float(kernels.warmup())
         ctx = SamplerContext(
             initializer=initializer,
             init_sample_cap=init_sample_cap,
@@ -908,8 +1091,8 @@ class VectorizedWalkEngine:
             chain_store=chain_store,
             max_reject_rounds=max_reject_rounds,
             budget=budget,
+            kernels=kernels,
         )
-        start = time.perf_counter()
         self.stepper = _build_stepper(sampler, graph, self.model, ctx)
         self.setup_seconds = time.perf_counter() - start
         self.rng = as_rng(seed)
@@ -1017,7 +1200,16 @@ class VectorizedWalkEngine:
         if flat_offs.size == 0:
             return np.full(cur.size, NO_EDGE, dtype=np.int64)
         no_prev = np.full(flat_offs.size, -1, dtype=np.int64)
-        weights = self.model.batch_dynamic_weight(no_prev, no_prev, cur[seg], 0, flat_offs)
+        expanded_cur = cur[seg]
+
+        def weight_fn(offs, lanes=None):
+            ctx = expanded_cur if lanes is None else expanded_cur[lanes]
+            none = np.full(offs.size, -1, dtype=np.int64)
+            return self.model.batch_dynamic_weight(none, none, ctx, 0, offs)
+
+        weights = self.kernels.dyn_weights(
+            self.stepper.kernel_state, no_prev, flat_offs, weight_fn
+        )
         pos = segment_sample(weights, deg, rng)
         return np.where(pos >= 0, lo + pos, NO_EDGE)
 
@@ -1050,9 +1242,12 @@ class VectorizedWalkEngine:
         return plan.new_graph
 
     def stats(self) -> dict:
-        """Sampler counters plus engine setup time."""
+        """Sampler counters plus engine setup/backend bookkeeping."""
         out = self.stepper.stats()
         out["setup_seconds"] = self.setup_seconds
+        out["backend"] = self.backend
+        out["requested_backend"] = self.requested_backend
+        out["compile_seconds"] = self.compile_seconds
         return out
 
     def memory_bytes(self) -> int:

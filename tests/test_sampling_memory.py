@@ -79,7 +79,7 @@ class TestEstimates:
     def test_mh_bytes_formula(self, small_power_law_graph):
         g = small_power_law_graph
         model = make_model("node2vec", g, p=1, q=1)
-        assert mh_bytes(g, model) == 8 * g.num_edge_entries
+        assert mh_bytes(g, model) == 16 * g.num_edge_entries
 
     def test_alias_second_order_formula(self, small_power_law_graph):
         g = small_power_law_graph

@@ -77,7 +77,7 @@ class TestChainMechanics:
         g, model, __ = n2v_setup
         sampler = MetropolisHastingsSampler(g, model)
         assert sampler.last.size == g.num_edge_entries
-        assert MetropolisHastingsSampler.memory_bytes(g, model) == 8 * g.num_edge_entries
+        assert MetropolisHastingsSampler.memory_bytes(g, model) == 16 * g.num_edge_entries
 
     def test_lazy_initialization_counted(self, n2v_setup, rng):
         g, model, state = n2v_setup

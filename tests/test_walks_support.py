@@ -109,9 +109,10 @@ class TestChainStore:
         assert store.num_initialized == 0
 
     def test_memory_matches_paper_formula(self, small_unweighted_graph):
+        # one int64 LAST_x plus one float64 cached w'(LAST_x) per state
         g = small_unweighted_graph
         model = make_model("node2vec", g)
-        assert ChainStore(g, model).memory_bytes() == 8 * g.num_edge_entries
+        assert ChainStore(g, model).memory_bytes() == 16 * g.num_edge_entries
 
     def test_decompose_second_order(self, small_unweighted_graph):
         g = small_unweighted_graph
