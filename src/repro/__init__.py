@@ -75,6 +75,8 @@ _LAZY_ATTRS = {
     "save_deltas": ("repro.graph.delta", "save_deltas"),
     "EmbeddingStore": ("repro.serving.store", "EmbeddingStore"),
     "QueryService": ("repro.serving.service", "QueryService"),
+    "QueryServer": ("repro.serving.server", "QueryServer"),
+    "SnapshotManager": ("repro.serving.snapshot", "SnapshotManager"),
     "register_index": ("repro.serving.index", "register_index"),
     "register_codec": ("repro.serving.codec", "register_codec"),
     "make_codec": ("repro.serving.codec", "make_codec"),

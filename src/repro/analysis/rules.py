@@ -335,6 +335,10 @@ _FORBIDDEN_RAISES = frozenset({
     "RuntimeError", "Exception", "BaseException", "LookupError",
     "ArithmeticError", "OSError", "IOError", "EOFError",
     "ZeroDivisionError", "OverflowError", "FloatingPointError",
+    # the connection-layer builtins: the serving tier maps these to its
+    # typed wire errors (ServerError and friends) instead of raising raw
+    "ConnectionError", "ConnectionResetError", "ConnectionAbortedError",
+    "ConnectionRefusedError", "BrokenPipeError", "TimeoutError",
 })
 
 _BROAD_EXCEPTS = frozenset({"Exception", "BaseException"})
@@ -361,7 +365,10 @@ class ErrorTaxonomyRule(LintRule):
     to turn failures into clean exit codes; a bare ``ValueError`` from
     library code escapes that net as a traceback. Conversely a broad
     ``except Exception`` that does not re-raise converts genuine bugs
-    into silent misbehaviour.
+    into silent misbehaviour. Classes *named* like errors must also join
+    the taxonomy: an ``XyzError`` outside ``ReproError`` can never carry
+    the stable wire ``code`` the query server's protocol responses key
+    on, and callers catching the base class would silently miss it.
     """
 
     severity = "error"
@@ -369,6 +376,17 @@ class ErrorTaxonomyRule(LintRule):
 
     def check_module(self, module, project):
         yield from self._visit(module, project, module.tree, None)
+        for info in module.classes.values():
+            if not info.name.endswith("Error") or info.name == "ReproError":
+                continue
+            if project.derives_from(info, "ReproError") is False:
+                yield self.finding(
+                    module, info,
+                    f"class {info.name} does not derive from ReproError; "
+                    "error types must join the repro.errors taxonomy so "
+                    "typed handling (CLI exit codes, server wire codes) "
+                    "sees them",
+                )
 
     def _visit(self, module, project, node, func_name):
         for child in ast.iter_child_nodes(node):

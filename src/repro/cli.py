@@ -335,6 +335,68 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.errors import ReproError, ServingError
+    from repro.serving import EmbeddingStore, QueryServer
+
+    try:
+        store = EmbeddingStore.open(args.store)
+    except ServingError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    index_params = {}
+    if args.nlist is not None:
+        index_params["nlist"] = args.nlist
+    if args.nprobe is not None:
+        index_params["nprobe"] = args.nprobe
+    try:
+        server = QueryServer(
+            store,
+            index=args.index,
+            cache_size=args.cache_size,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            queue_size=args.queue_size,
+            host=args.host,
+            port=args.port,
+            **index_params,
+        )
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    async def run_server() -> dict:
+        await server.start_tcp()
+        host, port = server.address
+        print(
+            f"serving {len(store)} x {store.dimensions} embeddings "
+            f"(codec {store.codec.name}, index {args.index}) on {host}:{port}",
+            flush=True,
+        )
+        if args.max_requests is None:
+            await asyncio.Event().wait()
+        else:
+            while server.counters["answered"] < args.max_requests:
+                await asyncio.sleep(0.005)
+        stats = server.stats()
+        await server.stop()
+        return stats
+
+    try:
+        stats = asyncio.run(run_server())
+    except KeyboardInterrupt:
+        stats = server.stats()
+    print(
+        f"[served {stats['answered']} requests ({stats['shed']} shed) in "
+        f"{stats['batches']} batches (mean {stats['mean_batch']:.1f} req/batch); "
+        f"p50 {stats['p50_ms']:.2f}ms p99 {stats['p99_ms']:.2f}ms "
+        f"{stats['qps']:.0f} qps]"
+    )
+    return 0
+
+
 def _cmd_update(args) -> int:
     from repro import UniNet
     from repro.errors import ReproError
@@ -613,6 +675,38 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--nlist", type=int, default=None, help="ivf: number of cells")
     query.add_argument("--nprobe", type=int, default=None, help="ivf: cells scanned per query")
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the micro-batching TCP query server over an embedding store",
+    )
+    serve.add_argument("--store", required=True, help="EmbeddingStore file (from export-store)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7531, help="TCP port (0 picks a free one)")
+    serve.add_argument(
+        "--index", default="bruteforce",
+        help="ANN index: bruteforce (exact) or ivf (approximate)",
+    )
+    serve.add_argument("--nlist", type=int, default=None, help="ivf: number of cells")
+    serve.add_argument("--nprobe", type=int, default=None, help="ivf: cells scanned per query")
+    serve.add_argument("--cache-size", type=int, default=4096, help="LRU result-cache entries")
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="most requests coalesced into one index scan",
+    )
+    serve.add_argument(
+        "--max-wait-us", type=float, default=200.0,
+        help="microseconds the dispatcher waits for more requests after the first",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=1024,
+        help="pending-request bound; beyond it requests are load-shed ('overloaded')",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after answering this many requests (smoke tests / CI)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     update = sub.add_parser(
         "update",

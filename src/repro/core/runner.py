@@ -190,7 +190,52 @@ def _serve_probe(spec: RunSpec, embeddings) -> dict:
         stats["recall_probe"] = topk_overlap(exact, results)
     else:
         stats["recall_probe"] = 1.0
+    if sv.server is not None:
+        stats["server"] = _server_probe(sv, store, probe_keys)
     return stats
+
+
+def _server_probe(sv, store, probe_keys) -> dict:
+    """Drive the probe keys through a batching :class:`QueryServer`.
+
+    One concurrent in-process client per probe key, so the dispatcher
+    actually coalesces — the recorded ``mean_batch``/``p99_ms``/``qps``
+    reflect the micro-batching path, not a sequential loop.
+    """
+    import asyncio
+
+    from repro.serving import InProcessClient, QueryServer
+
+    server = QueryServer(
+        store, index=sv.index, cache_size=sv.cache_size, **sv.server, **sv.index_params
+    )
+
+    async def drive() -> dict:
+        await server.start()
+        client = InProcessClient(server)
+        await asyncio.gather(
+            *(client.most_similar(int(k), topn=sv.topn) for k in probe_keys)
+        )
+        stats = server.stats()
+        await server.stop()
+        return stats
+
+    stats = asyncio.run(drive())
+    return {
+        key: stats[key]
+        for key in (
+            "answered",
+            "shed",
+            "batches",
+            "mean_batch",
+            "p50_ms",
+            "p99_ms",
+            "qps",
+            "max_batch",
+            "max_wait_us",
+            "queue_size",
+        )
+    }
 
 
 def _run_with_updates(spec: RunSpec, graph, model):

@@ -149,6 +149,12 @@ class ServingSpec:
     compressed store and additionally records ``compression_ratio`` and
     ``recall_probe`` (top-``topn`` overlap of the probe batch against
     the exact float32 answers) — the accuracy/memory trade in numbers.
+
+    A ``server`` block additionally stands up an asyncio
+    :class:`~repro.serving.server.QueryServer` over the same store,
+    drives the probe keys through concurrent in-process clients (so the
+    micro-batching path is exercised), and records the server's
+    p50/p99/QPS stats under ``report.metrics["serving"]["server"]``.
     """
 
     #: registered index name (see :data:`repro.serving.INDEX_REGISTRY`).
@@ -163,6 +169,12 @@ class ServingSpec:
     topn: int = 10
     #: keys queried by the probe batch (clamped to the store size).
     probe_queries: int = 64
+    #: None, or :class:`~repro.serving.server.QueryServer` knobs
+    #: (``max_batch``, ``max_wait_us``, ``queue_size``) for a batching
+    #: server probe.
+    server: dict | None = None
+
+    _SERVER_KNOBS = frozenset({"max_batch", "max_wait_us", "queue_size"})
 
     def validate(self) -> "ServingSpec":
         from repro.serving.codec import CODEC_REGISTRY
@@ -180,6 +192,17 @@ class ServingSpec:
             raise SpecError("serving.index_params must be a mapping")
         if not isinstance(self.codec_params, dict):
             raise SpecError("serving.codec_params must be a mapping")
+        if self.server is not None:
+            if self.server is True:
+                self.server = {}
+            if not isinstance(self.server, dict):
+                raise SpecError("serving.server must be a mapping (or null)")
+            unknown = set(self.server) - self._SERVER_KNOBS
+            if unknown:
+                raise SpecError(
+                    f"unknown serving.server knobs {sorted(unknown)}; "
+                    f"supported: {sorted(self._SERVER_KNOBS)}"
+                )
         return self
 
 

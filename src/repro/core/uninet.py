@@ -445,6 +445,7 @@ class UniNet:
         codec: str = "float32",
         codec_params: dict | None = None,
         cache_size: int = 4096,
+        server=False,
         **index_params,
     ):
         """Stand up a :class:`~repro.serving.service.QueryService`.
@@ -459,9 +460,20 @@ class UniNet:
         :data:`repro.serving.CODEC_REGISTRY`) with ``codec_params``
         forwarded to the codec constructor; ``index_params`` go to the
         chosen index factory (``nlist``, ``nprobe``, ...).
+
+        With ``server=True`` (or a dict of
+        :class:`~repro.serving.server.QueryServer` knobs — ``max_batch``,
+        ``max_wait_us``, ``queue_size``, ``host``, ``port``) the result
+        is instead a not-yet-started ``QueryServer`` wrapping a
+        :class:`~repro.serving.snapshot.SnapshotManager`, so concurrent
+        clients get micro-batched scans and
+        :meth:`~repro.serving.server.QueryServer.publish` /
+        :meth:`~repro.serving.server.QueryServer.upsert` swap embedding
+        versions with zero downtime. Start it with ``await
+        server.start()`` (in-process) or ``await server.start_tcp()``.
         """
         from repro.errors import ServingError
-        from repro.serving import QueryService
+        from repro.serving import QueryServer, QueryService
 
         kv = self.last_embeddings if embeddings is None else embeddings
         if kv is None:
@@ -477,6 +489,15 @@ class UniNet:
                 "the old vectors anyway"
             )
         store = kv.to_store(store_path, codec=codec, **(codec_params or {}))
+        if server:
+            server_params = dict(server) if isinstance(server, dict) else {}
+            return QueryServer(
+                store,
+                index=index,
+                cache_size=cache_size,
+                **server_params,
+                **index_params,
+            )
         return QueryService(store, index=index, cache_size=cache_size, **index_params)
 
     def __repr__(self) -> str:

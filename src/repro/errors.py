@@ -83,6 +83,41 @@ class ServingError(ReproError):
     """Raised for invalid embedding-store files or serving-time queries."""
 
 
+class ServerError(ServingError):
+    """Raised for query-server failures (the network-facing serving tier).
+
+    Every server-side failure maps to a stable wire ``code`` so clients
+    can branch without parsing messages; subclasses carry the specific
+    codes (``overloaded``, ``bad-request``). The base class itself is
+    the ``server`` code — unexpected-but-typed failures.
+    """
+
+    #: stable machine-readable identifier sent in error responses.
+    code = "server"
+
+
+class OverloadError(ServerError):
+    """Raised (or sent on the wire) when admission control sheds a request.
+
+    The server's pending queue is bounded; once full, new requests are
+    answered immediately with this error instead of queueing without
+    limit. Clients should back off and retry.
+    """
+
+    code = "overloaded"
+
+
+class ProtocolError(ServerError):
+    """Raised for malformed frames or invalid request payloads.
+
+    Covers undecodable JSON, oversized frames, unknown operations and
+    missing/ill-typed request fields — the client sent something the
+    length-prefixed JSON protocol does not define.
+    """
+
+    code = "bad-request"
+
+
 class SerializationError(ServingError, ValueError):
     """Raised for corrupt, truncated, or version-incompatible on-disk data.
 

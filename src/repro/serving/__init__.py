@@ -19,10 +19,18 @@ serve:
   approximate :class:`IVFIndex` (k-means coarse quantizer with
   ``nprobe`` recall/cost dial; IVFADC over PQ stores);
 * :mod:`repro.serving.service` — :class:`QueryService`, the batching
-  front-end with an LRU result cache and latency/throughput counters.
+  front-end with an LRU result cache and latency/throughput counters;
+* :mod:`repro.serving.snapshot` — :class:`SnapshotManager`, immutable
+  (store, index, cache) versions published by atomic reference flip so
+  embedding updates reach queries with zero downtime;
+* :mod:`repro.serving.server` — :class:`QueryServer`, the asyncio
+  network tier: length-prefixed JSON over TCP, micro-batched dispatch
+  into ``most_similar_batch``, bounded-queue admission control and
+  p50/p99 latency histograms (plus :class:`QueryClient` /
+  :class:`InProcessClient`).
 
 Entry points: ``UniNet.serve()``, a ``serving:`` block in ``RunSpec``,
-and the ``export-store --codec`` / ``query`` CLI verbs.
+and the ``export-store --codec`` / ``query`` / ``serve`` CLI verbs.
 """
 
 from repro.serving.codec import (
@@ -41,12 +49,25 @@ from repro.serving.index import (
     make_index,
     register_index,
 )
+from repro.serving.server import (
+    InProcessClient,
+    LatencyHistogram,
+    QueryClient,
+    QueryServer,
+)
 from repro.serving.service import LRUCache, QueryService, topk_overlap
+from repro.serving.snapshot import Snapshot, SnapshotManager
 from repro.serving.store import EmbeddingStore
 
 __all__ = [
     "EmbeddingStore",
     "QueryService",
+    "QueryServer",
+    "QueryClient",
+    "InProcessClient",
+    "LatencyHistogram",
+    "Snapshot",
+    "SnapshotManager",
     "LRUCache",
     "BruteForceIndex",
     "IVFIndex",

@@ -14,6 +14,7 @@ without extra instrumentation::
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 
@@ -41,34 +42,46 @@ def topk_overlap(reference, results) -> float:
 
 
 class LRUCache:
-    """A bounded mapping evicting the least-recently-used entry."""
+    """A bounded mapping evicting the least-recently-used entry.
+
+    Safe under concurrent access: ``get``'s refresh-then-read pair and
+    ``put``'s insert-then-evict pair each run under an internal lock, so
+    interleaved callers (the async serving tier shares one service
+    across tasks and threads) can neither hit a spurious ``KeyError``
+    nor overshoot ``capacity``.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ServingError("cache capacity must be >= 1")
         self.capacity = int(capacity)
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key):
         """The cached value, refreshed as most recent; None when absent."""
-        try:
-            self._data.move_to_end(key)
-        except KeyError:
-            return None
-        return self._data[key]
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return None
+            return self._data[key]
 
     def put(self, key, value) -> None:
         """Insert/refresh ``key``, evicting the oldest entry when full."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 class QueryService:
@@ -121,6 +134,13 @@ class QueryService:
             "refreshes": 0,
             "seconds": 0.0,
         }
+        self._counters_lock = threading.Lock()
+
+    def _bump(self, **deltas) -> None:
+        """Apply counter increments atomically (read-modify-write is not)."""
+        with self._counters_lock:
+            for name, delta in deltas.items():
+                self.counters[name] += delta
 
     # ------------------------------------------------------------------
     def refresh(self, store=None) -> "QueryService":
@@ -155,7 +175,7 @@ class QueryService:
             )
         if self.cache is not None:
             self.cache.clear()
-        self.counters["refreshes"] += 1
+        self._bump(refreshes=1)
         return self
 
     # ------------------------------------------------------------------
@@ -194,23 +214,32 @@ class QueryService:
                     # hand out a fresh list so caller mutation cannot
                     # poison the cached answer
                     results[i] = list(hit)
-            self.counters["cache_hits"] += keys.size - len(miss_positions)
-            self.counters["cache_misses"] += len(miss_positions)
+            self._bump(
+                cache_hits=keys.size - len(miss_positions),
+                cache_misses=len(miss_positions),
+            )
         if miss_positions:
+            # duplicate keys in one batch (coalesced traffic hits the
+            # same hot key many times) get one scan row, fanned back out
             miss_keys = keys[miss_positions]
-            rows = self.store.rows_for(miss_keys)
+            uniq_keys, inverse = np.unique(miss_keys, return_inverse=True)
+            rows = self.store.rows_for(uniq_keys)
             # ask for one extra neighbour so dropping the query itself
             # still leaves topn results; on a quantized store the query
             # vectors are the codec reconstructions
             top_rows, top_scores = self.index.topk(self.store.decode_rows(rows), topn + 1)
-            for pos, row, r, s in zip(miss_positions, rows, top_rows, top_scores):
-                result = self._decode(int(row), r, s, topn)
-                results[pos] = result
-                if self.cache is not None:
-                    self.cache.put((int(keys[pos]), topn), tuple(result))
-        self.counters["queries"] += int(keys.size)
-        self.counters["batches"] += 1
-        self.counters["seconds"] += time.perf_counter() - start
+            decoded = [
+                self._decode(int(row), r, s, topn)
+                for row, r, s in zip(rows, top_rows, top_scores)
+            ]
+            if self.cache is not None:
+                for key, result in zip(uniq_keys, decoded):
+                    self.cache.put((int(key), topn), tuple(result))
+            for pos, j in zip(miss_positions, inverse):
+                results[pos] = list(decoded[j])
+        self._bump(
+            queries=int(keys.size), batches=1, seconds=time.perf_counter() - start
+        )
         return results
 
     def topk_vectors(self, queries, topn: int = 10) -> list[list[tuple[int, float]]]:
@@ -222,9 +251,7 @@ class QueryService:
             [(int(keys[r]), float(s)) for r, s in zip(rr, ss) if r >= 0]
             for rr, ss in zip(rows, scores)
         ]
-        self.counters["queries"] += len(out)
-        self.counters["batches"] += 1
-        self.counters["seconds"] += time.perf_counter() - start
+        self._bump(queries=len(out), batches=1, seconds=time.perf_counter() - start)
         return out
 
     def similarity_batch(self, a, b) -> np.ndarray:
@@ -241,15 +268,18 @@ class QueryService:
             np.float32(1e-12),
         )
         sims = np.einsum("ij,ij->i", va, vb) / denom
-        self.counters["similarity_pairs"] += int(rows_a.size)
-        self.counters["batches"] += 1
-        self.counters["seconds"] += time.perf_counter() - start
+        self._bump(
+            similarity_pairs=int(rows_a.size),
+            batches=1,
+            seconds=time.perf_counter() - start,
+        )
         return sims.astype(np.float64)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Counter snapshot plus derived throughput/latency numbers."""
-        c = dict(self.counters)
+        with self._counters_lock:
+            c = dict(self.counters)
         seconds = c["seconds"]
         c["qps"] = (c["queries"] / seconds) if seconds > 0 else 0.0
         c["mean_batch_ms"] = (1000.0 * seconds / c["batches"]) if c["batches"] else 0.0
@@ -264,5 +294,6 @@ class QueryService:
 
     def reset_stats(self) -> None:
         """Zero all counters (the cache is kept)."""
-        for key in self.counters:
-            self.counters[key] = 0.0 if key == "seconds" else 0
+        with self._counters_lock:
+            for key in self.counters:
+                self.counters[key] = 0.0 if key == "seconds" else 0

@@ -257,6 +257,16 @@ class EmbeddingStore:
             raise ServingError(f"key {bad} is not in the store")
         return rows
 
+    def has_keys(self, keys) -> np.ndarray:
+        """Boolean membership mask for an array of node ids (vectorized).
+
+        The non-raising sibling of :meth:`rows_for` — lets a server
+        validate a request up front and fail *that request* instead of
+        the whole coalesced batch.
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        return self._rows_or_missing(keys) >= 0
+
     def vector(self, key: int) -> np.ndarray:
         """Embedding of one node id (decoded on quantized stores)."""
         return self.decode_rows(self.rows_for(key))[0]
@@ -325,11 +335,16 @@ class EmbeddingStore:
             )
         if keys.size != np.unique(keys).size:
             raise ServingError("upsert keys must be unique")
-        if isinstance(self.codes, np.memmap) and not self.codes.flags.writeable:
-            raise ServingError(
-                "cannot upsert into a read-only memory-mapped store; reopen "
-                "with EmbeddingStore.open(path, mmap=False), upsert, then save()"
-            )
+        # validate every buffer BEFORE the first write: a writeable-codes
+        # / read-only-norms store must refuse cleanly, not fail mid-write
+        # with codes already mutated (a partially-applied upsert)
+        for name, buf in (("keys", self.keys), ("codes", self.codes), ("norms", self.norms)):
+            if isinstance(buf, np.ndarray) and not buf.flags.writeable:
+                raise ServingError(
+                    f"cannot upsert into a read-only memory-mapped store (the "
+                    f"{name} buffer is not writeable); reopen with "
+                    "EmbeddingStore.open(path, mmap=False), upsert, then save()"
+                )
         rows = self._rows_or_missing(keys)
         known = rows >= 0
         norms = np.linalg.norm(vectors, axis=1).astype(np.float32)

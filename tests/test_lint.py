@@ -247,9 +247,38 @@ def test_rpr004_builtin_raise_and_taxonomy_raise(tmp_path):
             raise OtherError("outside the taxonomy")
     """}, select=["RPR004"])
     messages = sorted(f.message for f in report.findings)
-    assert len(messages) == 2
-    assert "raises OtherError" in messages[0]
-    assert "raises builtin ValueError" in messages[1]
+    assert len(messages) == 3
+    assert "class OtherError does not derive from ReproError" in messages[0]
+    assert "raises OtherError" in messages[1]
+    assert "raises builtin ValueError" in messages[2]
+
+
+def test_rpr004_connection_builtins_and_error_class_taxonomy(tmp_path):
+    report = lint(tmp_path, {"mod.py": """
+        from repro.errors import ReproError
+
+        class WireError(ReproError):
+            pass
+
+        class TransportError:
+            pass
+
+        class Unrelated(SomeExternalBase):
+            pass
+
+        def f(closed):
+            if closed:
+                raise ConnectionResetError("peer gone")
+            raise BrokenPipeError("half-open")
+    """}, select=["RPR004"])
+    messages = sorted(f.message for f in report.findings)
+    assert len(messages) == 3
+    # TransportError joins nothing; WireError is fine; Unrelated has an
+    # unresolvable base (derives_from -> None) and is not named *Error,
+    # so neither side of the check fires on it.
+    assert "class TransportError does not derive from ReproError" in messages[0]
+    assert "raises builtin BrokenPipeError" in messages[1]
+    assert "raises builtin ConnectionResetError" in messages[2]
 
 
 def test_rpr004_broad_excepts(tmp_path):

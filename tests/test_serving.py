@@ -402,3 +402,129 @@ class TestServingCLI:
         bad.write_bytes(b"x" * 128)
         assert main(["query", "--store", str(bad)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestConcurrencySafety:
+    """Regression tests for the serving-layer single-thread assumptions."""
+
+    def test_lru_cache_safe_under_threads(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = LRUCache(32)
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(2000):
+                key = (int(rng.integers(0, 64)), 10)
+                cache.put(key, (seed,))
+                cache.get((int(rng.integers(0, 64)), 10))
+
+        # interleaved get/put used to raise KeyError (move_to_end/read
+        # pair) or overshoot capacity (insert/evict pair)
+        with ThreadPoolExecutor(8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert len(cache) <= 32
+
+    def test_counters_exact_under_threads(self, store):
+        from concurrent.futures import ThreadPoolExecutor
+
+        service = QueryService(store, cache_size=0)
+
+        def work(seed):
+            for _ in range(50):
+                service.most_similar_batch([seed % 300], topn=3)
+
+        with ThreadPoolExecutor(8) as pool:
+            list(pool.map(work, range(8)))
+        assert service.counters["queries"] == 400
+        assert service.counters["batches"] == 400
+
+
+class TestDuplicateKeyDedup:
+    """most_similar_batch must scan one row per *unique* miss key."""
+
+    class CountingIndex:
+        name = "counting"
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.scan_rows = []
+
+        def topk(self, queries, k):
+            self.scan_rows.append(int(np.atleast_2d(np.asarray(queries)).shape[0]))
+            return self.inner.topk(queries, k)
+
+    def test_one_scan_row_per_unique_key(self, store):
+        index = self.CountingIndex(BruteForceIndex(store))
+        service = QueryService(store, index=index, cache_size=0)
+        results = service.most_similar_batch([5, 9, 5, 5, 9], topn=4)
+        assert index.scan_rows == [2]
+        assert results[0] == results[2] == results[3]
+        assert results[1] == results[4]
+        # each position owns an independent list: caller mutation of one
+        # duplicate must not leak into the others
+        results[0].append("sentinel")
+        assert results[2][-1] != "sentinel"
+
+    def test_duplicates_write_cache_once(self, store):
+        service = QueryService(store, cache_size=8)
+        first = service.most_similar_batch([3, 3, 3], topn=2)
+        assert len(service.cache) == 1
+        assert service.counters["cache_misses"] == 3
+        again = service.most_similar_batch([3], topn=2)
+        assert service.counters["cache_hits"] == 1
+        assert again[0] == first[0]
+
+
+class TestUpsertReadOnlyGuard:
+    """upsert must validate every buffer before the first write."""
+
+    def _store(self):
+        rng = np.random.default_rng(5)
+        kv = KeyedVectors(np.arange(20), rng.standard_normal((20, 8)))
+        return EmbeddingStore.from_keyed_vectors(kv)
+
+    @pytest.mark.parametrize("buffer", ["keys", "codes", "norms"])
+    def test_any_readonly_buffer_refuses_cleanly(self, buffer):
+        store = self._store()
+        getattr(store, buffer).flags.writeable = False
+        before_codes = np.array(store.codes)
+        before_norms = np.array(store.norms)
+        with pytest.raises(ServingError, match="read-only"):
+            store.upsert([0], np.ones(8, dtype=np.float32))
+        # nothing was partially applied
+        assert np.array_equal(np.asarray(store.codes), before_codes)
+        assert np.array_equal(np.asarray(store.norms), before_norms)
+
+
+class TestServerWiring:
+    def test_serve_server_kwarg_returns_query_server(self, barbell):
+        import asyncio
+
+        from repro import UniNet
+        from repro.serving import InProcessClient, QueryServer
+
+        net = UniNet(barbell, model="deepwalk", seed=3)
+        net.train(num_walks=2, walk_length=8, dimensions=8, negative_sharing=True)
+        server = net.serve(server={"max_batch": 8, "queue_size": 64})
+        assert isinstance(server, QueryServer)
+        assert server.max_batch == 8 and server.queue_size == 64
+
+        async def main():
+            await server.start()
+            rows = await InProcessClient(server).most_similar(0, topn=2)
+            await server.stop()
+            return rows
+
+        assert len(asyncio.run(main())[0]) == 2
+
+    def test_serving_spec_server_block_validation(self):
+        from repro import ServingSpec
+
+        spec = ServingSpec(server={"max_batch": 8}).validate()
+        assert spec.server == {"max_batch": 8}
+        assert ServingSpec().validate().server is None
+        with pytest.raises(SpecError, match="unknown serving.server knobs"):
+            ServingSpec(server={"bogus": 1}).validate()
+        with pytest.raises(SpecError, match="mapping"):
+            ServingSpec(server="yes").validate()
