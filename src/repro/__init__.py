@@ -24,6 +24,11 @@ The public surface mirrors the paper's architecture:
   :class:`~repro.serving.store.EmbeddingStore` files, the pluggable ANN
   index family (bruteforce / IVF), and the batching
   :class:`~repro.serving.service.QueryService`.
+* :mod:`repro.sharding` — the scale-out layer: registry-pluggable graph
+  partitioners, the :class:`~repro.sharding.engine.ShardedWalkEngine`
+  (one worker per shard, KnightKing-style walker migration, bitwise
+  parity with the monolithic engine), and scatter-gather similarity
+  queries over per-shard embedding stores.
 * :mod:`repro.registry` — the plugin layer: every component family
   (models, samplers, initializers) is a :class:`~repro.registry.Registry`
   that third-party code extends with ``@register_model`` /
@@ -62,6 +67,13 @@ _LAZY_ATTRS = {
     "WalkConfig": ("repro.core.config", "WalkConfig"),
     "TrainConfig": ("repro.core.config", "TrainConfig"),
     "StreamingConfig": ("repro.core.config", "StreamingConfig"),
+    "ShardingConfig": ("repro.core.config", "ShardingConfig"),
+    "ShardedWalkEngine": ("repro.sharding.engine", "ShardedWalkEngine"),
+    "ShardedEmbeddingStore": ("repro.sharding.store", "ShardedEmbeddingStore"),
+    "ScatterGatherRouter": ("repro.sharding.router", "ScatterGatherRouter"),
+    "ShardPlan": ("repro.sharding.partitioner", "ShardPlan"),
+    "build_shard_plan": ("repro.sharding.partitioner", "build_shard_plan"),
+    "register_partitioner": ("repro.sharding.partitioner", "register_partitioner"),
     "WalkShardStream": ("repro.walks.stream", "WalkShardStream"),
     "RunSpec": ("repro.core.spec", "RunSpec"),
     "GraphSpec": ("repro.core.spec", "GraphSpec"),

@@ -42,6 +42,7 @@ REGISTRY_FAMILIES = {
     "register_codec": "codec",
     "register_index": "index",
     "register_rule": "lint rule",
+    "register_partitioner": "partitioner",
     "MODEL_REGISTRY": "model",
     "SAMPLER_REGISTRY": "sampler",
     "SCALAR_SAMPLER_REGISTRY": "scalar sampler",
@@ -49,6 +50,7 @@ REGISTRY_FAMILIES = {
     "CODEC_REGISTRY": "codec",
     "INDEX_REGISTRY": "index",
     "LINT_REGISTRY": "lint rule",
+    "PARTITIONER_REGISTRY": "partitioner",
 }
 
 _SUPPRESS_MARK = "repro-lint:"

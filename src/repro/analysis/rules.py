@@ -101,6 +101,7 @@ _FAMILY_PROTOCOLS = {
     "codec": ("fit", "encode", "decode", "state", "from_state"),
     "index": ("topk", "memory_bytes"),
     "lint rule": (),
+    "partitioner": ("partition",),
 }
 
 
@@ -525,7 +526,13 @@ class SerializationDtypeRule(LintRule):
 # ---------------------------------------------------------------------------
 
 #: the vectorized kernels: per-element Python here multiplies by |V|/|E|.
-_KERNEL_MODULES = ("walks/vectorized.py", "sampling/alias.py", "walks/kernels/")
+_KERNEL_MODULES = (
+    "walks/vectorized.py",
+    "sampling/alias.py",
+    "walks/kernels/",
+    "sharding/worker.py",
+    "sharding/engine.py",
+)
 
 #: decorator leaves whose functions run compiled, not interpreted —
 #: explicit Python loops inside them are the *point*, not a fallback.

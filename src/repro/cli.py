@@ -105,6 +105,21 @@ def _add_walk_args(parser):
         help="walk step kernels: numpy (portable), numba (JIT) or "
         "cnative (C, needs a compiler)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="generate walks on the sharded engine with N graph partitions "
+        "(bitwise-identical corpus; default: monolithic engine)",
+    )
+    parser.add_argument(
+        "--partitioner", default="hash",
+        help="graph partitioner for --shards: hash (stateless) or "
+        "degree_balanced (greedy LPT on out-degree)",
+    )
+    parser.add_argument(
+        "--shard-transport", choices=["inline", "process"], default="inline",
+        help="shard workers in-process (inline) or one OS process per shard "
+        "with the local CSR in shared memory (process)",
+    )
     for pname, pspec in sorted(_cli_param_specs().items()):
         parser.add_argument(
             f"--{pname}",
@@ -156,6 +171,19 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _sharding_config(args):
+    """Build a ShardingConfig from the ``--shards`` family of flags."""
+    if args.shards is None:
+        return None
+    from repro.core.config import ShardingConfig
+
+    return ShardingConfig(
+        shards=args.shards,
+        partitioner=args.partitioner,
+        transport=args.shard_transport,
+    )
+
+
 def _cmd_walk(args) -> int:
     from repro import UniNet
 
@@ -164,8 +192,18 @@ def _cmd_walk(args) -> int:
         graph, model=args.model, sampler=args.sampler, initializer=args.initializer,
         backend=args.kernel_backend, seed=args.seed, **_model_params(args),
     )
-    corpus = net.generate_walks(args.num_walks, args.walk_length)
+    corpus = net.generate_walks(
+        args.num_walks, args.walk_length, sharding=_sharding_config(args)
+    )
     corpus.save_npz(args.output)
+    if args.shards is not None:
+        stats = net.last_stats
+        print(
+            f"[{args.shards} shard(s) via {stats['partitioner']}: "
+            f"{stats['boundary_edges']} boundary edges, migration rate "
+            f"{stats['migration_rate']:.3f}, node imbalance "
+            f"{stats['node_imbalance']:.2f}]"
+        )
     print(f"wrote {corpus} to {args.output}")
     return 0
 
@@ -210,8 +248,17 @@ def _cmd_train(args) -> int:
         epochs=args.epochs,
         negative_sharing=True,
         streaming=_streaming_config(args),
+        sharding=_sharding_config(args),
     )
     result.embeddings.save_npz(args.output)
+    if args.shards is not None:
+        stats = result.sampler_stats
+        print(
+            f"[{args.shards} shard(s) via {stats['partitioner']}: "
+            f"{stats['boundary_edges']} boundary edges, migration rate "
+            f"{stats['migration_rate']:.3f}, node imbalance "
+            f"{stats['node_imbalance']:.2f}]"
+        )
     mode = "streamed" if result.streaming else "monolithic"
     print(
         f"trained {len(result.embeddings)} x {args.dimensions} embeddings "

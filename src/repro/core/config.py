@@ -147,6 +147,67 @@ class StreamingConfig:
         return max(1, num_starts)
 
 
+#: Transports the sharded engine's ``transport=`` knob resolves.
+SHARD_TRANSPORTS = ("inline", "process")
+
+
+@dataclass
+class ShardingConfig:
+    """Sharded walk-engine settings (partitioned graph, walker migration).
+
+    When a sharding block is present on a run, walks are generated by
+    :class:`~repro.sharding.engine.ShardedWalkEngine` — the graph is
+    partitioned into ``shards`` local views, one worker per shard steps
+    the walkers it owns, and walkers crossing a partition boundary are
+    migrated between workers in typed batches. Corpora are bitwise
+    identical to the monolithic engine for any partitioner and shard
+    count, so the block changes *execution*, never results.
+
+    Parameters
+    ----------
+    enabled:
+        master switch; lets a spec override (``--set
+        sharding.enabled=false``) fall back to the monolithic engine
+        without deleting the block.
+    shards:
+        number of graph partitions (and workers). ``1`` is a valid
+        degenerate case — useful for isolating partitioning overhead.
+    partitioner:
+        registered partitioner name
+        (:data:`repro.sharding.partitioner.PARTITIONER_REGISTRY`):
+        ``"hash"`` for stateless multiplicative hashing,
+        ``"degree_balanced"`` for greedy LPT on out-degree.
+    transport:
+        ``"inline"`` keeps workers in-process (zero serialization);
+        ``"process"`` runs one OS process per shard with the local CSR
+        in shared memory.
+    """
+
+    enabled: bool = True
+    shards: int = 2
+    partitioner: str = "hash"
+    transport: str = "inline"
+
+    def __post_init__(self):
+        from repro.errors import ReproError
+
+        if int(self.shards) != self.shards or self.shards < 1:
+            raise WalkError("sharding.shards must be a positive integer")
+        self.shards = int(self.shards)
+        if isinstance(self.partitioner, str):
+            from repro.sharding.partitioner import PARTITIONER_REGISTRY
+
+            try:
+                self.partitioner = PARTITIONER_REGISTRY.canonical(self.partitioner)
+            except ReproError as err:
+                raise WalkError(str(err)) from None
+        if self.transport not in SHARD_TRANSPORTS:
+            raise WalkError(
+                f"sharding.transport must be one of {SHARD_TRANSPORTS}, "
+                f"got {self.transport!r}"
+            )
+
+
 @dataclass
 class TrainConfig:
     """Embedding-learning settings forwarded to the word2vec trainer."""

@@ -127,21 +127,45 @@ class TrainResult:
         return self.timings.get("total", self.ti + self.tw + self.tl)
 
 
-def generate_walk_result(
-    graph, model, walk_config, *, seed=None, budget=None, start_nodes=None
-) -> WalkResult:
-    """Walk-generation step with Ti/Tw accounting.
+def _shard_model_spec(model):
+    """``(name, params)`` for the sharded engine's per-shard model rebuild.
 
-    The engine's counter snapshot is taken exactly once, after
-    generation, and shared by the Ti computation and the returned
-    :class:`WalkResult` (so downstream consumers never re-query
-    ``engine.stats()``).
+    Shard workers reconstruct the model from its registry name plus the
+    ``param_spec``-declared constructor parameters, which every builtin
+    model stores verbatim under the declared attribute names. Declared
+    names an instance does not carry (e.g. metapath2vec's ``type_names``,
+    folded into the parsed ``metapath``) fall back to their constructor
+    defaults.
     """
-    start = time.perf_counter()
-    engine = VectorizedWalkEngine(
+    if isinstance(model, str):
+        return model, {}
+    from repro.errors import ReproError, ShardError
+    from repro.walks.models import MODEL_REGISTRY
+
+    name = getattr(model, "name", None)
+    try:
+        spec = MODEL_REGISTRY.entry(name).capabilities.get("param_spec", {})
+    except ReproError:
+        raise ShardError(
+            f"cannot shard model {name!r}: workers rebuild models from their "
+            "registry name, and this instance's name is not registered"
+        ) from None
+    params = {p: getattr(model, p) for p in spec if hasattr(model, p)}
+    return name, params
+
+
+def _build_sharded_engine(graph, model, walk_config, sharding, *, budget=None, seed=None):
+    """Construct the :class:`ShardedWalkEngine` a sharding block asks for."""
+    from repro.sharding.engine import ShardedWalkEngine
+
+    name, params = _shard_model_spec(model)
+    return ShardedWalkEngine(
         graph,
-        model,
+        name,
         sampler=walk_config.sampler,
+        num_shards=sharding.shards,
+        partitioner=sharding.partitioner,
+        transport=sharding.transport,
         initializer=walk_config.initializer,
         init_sample_cap=walk_config.init_sample_cap,
         burn_in_iterations=walk_config.burn_in_iterations,
@@ -150,7 +174,49 @@ def generate_walk_result(
         backend=walk_config.backend,
         budget=budget,
         seed=seed,
+        **params,
     )
+
+
+def generate_walk_result(
+    graph, model, walk_config, *, seed=None, budget=None, start_nodes=None, sharding=None
+) -> WalkResult:
+    """Walk-generation step with Ti/Tw accounting.
+
+    The engine's counter snapshot is taken exactly once, after
+    generation, and shared by the Ti computation and the returned
+    :class:`WalkResult` (so downstream consumers never re-query
+    ``engine.stats()``).
+
+    ``sharding`` takes a :class:`~repro.core.config.ShardingConfig` (or
+    an equivalent dict) to generate the walks on the partitioned
+    :class:`~repro.sharding.engine.ShardedWalkEngine` instead — same
+    corpus bit-for-bit, and the returned stats gain the migration and
+    partition-balance counters.
+    """
+    from repro.core.config import ShardingConfig
+
+    if isinstance(sharding, dict):
+        sharding = ShardingConfig(**sharding)
+    start = time.perf_counter()
+    if sharding is not None and sharding.enabled:
+        engine = _build_sharded_engine(
+            graph, model, walk_config, sharding, budget=budget, seed=seed
+        )
+    else:
+        engine = VectorizedWalkEngine(
+            graph,
+            model,
+            sampler=walk_config.sampler,
+            initializer=walk_config.initializer,
+            init_sample_cap=walk_config.init_sample_cap,
+            burn_in_iterations=walk_config.burn_in_iterations,
+            table_budget_bytes=walk_config.table_budget_bytes,
+            max_reject_rounds=walk_config.max_reject_rounds,
+            backend=walk_config.backend,
+            budget=budget,
+            seed=seed,
+        )
     corpus = engine.generate(
         num_walks=walk_config.num_walks,
         walk_length=walk_config.walk_length,
@@ -170,14 +236,22 @@ def generate_walk_result(
     )
 
 
-def generate_walks(graph, model, walk_config, *, seed=None, budget=None, start_nodes=None):
+def generate_walks(
+    graph, model, walk_config, *, seed=None, budget=None, start_nodes=None, sharding=None
+):
     """Walk-generation step; returns ``(corpus, engine, timings)``.
 
     Backward-compatible tuple form of :func:`generate_walk_result`;
     timings has ``init`` and ``walk`` entries.
     """
     result = generate_walk_result(
-        graph, model, walk_config, seed=seed, budget=budget, start_nodes=start_nodes
+        graph,
+        model,
+        walk_config,
+        seed=seed,
+        budget=budget,
+        start_nodes=start_nodes,
+        sharding=sharding,
     )
     return result.corpus, result.engine, result.timings
 
@@ -448,6 +522,7 @@ def train_pipeline(
     start_nodes=None,
     skip_learning: bool = False,
     streaming=None,
+    sharding=None,
 ) -> TrainResult:
     """Run the full pipeline for one (graph, model, sampler) configuration.
 
@@ -456,14 +531,34 @@ def train_pipeline(
     ``streaming`` takes a :class:`~repro.core.config.StreamingConfig`
     (or an equivalent dict) to run the shard-streaming path; walk-only
     runs ignore it, since without a trainer there is nothing to stream
-    into.
+    into. ``sharding`` takes a
+    :class:`~repro.core.config.ShardingConfig` (or dict) to generate the
+    walks on the partitioned engine — corpus (and thus embeddings) stay
+    bitwise identical; streaming and sharding are mutually exclusive
+    (the sharded engine has no shard-stream generator).
     """
-    from repro.core.config import StreamingConfig, TrainConfig, WalkConfig
+    from repro.core.config import ShardingConfig, StreamingConfig, TrainConfig, WalkConfig
 
     walk_config = walk_config or WalkConfig()
     train_config = train_config or TrainConfig()
     if isinstance(streaming, dict):
         streaming = StreamingConfig(**streaming)
+    if isinstance(sharding, dict):
+        sharding = ShardingConfig(**sharding)
+    if (
+        sharding is not None
+        and sharding.enabled
+        and streaming is not None
+        and streaming.enabled
+        and not skip_learning
+    ):
+        from repro.errors import WalkError
+
+        raise WalkError(
+            "streaming and sharding cannot be combined: the sharded engine "
+            "materialises whole waves and has no shard-stream generator; "
+            "disable one block (e.g. --set streaming.enabled=false)"
+        )
 
     if streaming is not None and streaming.enabled and not skip_learning:
         return train_streaming_pipeline(
@@ -478,7 +573,13 @@ def train_pipeline(
         )
 
     walked = generate_walk_result(
-        graph, model, walk_config, seed=seed, budget=budget, start_nodes=start_nodes
+        graph,
+        model,
+        walk_config,
+        seed=seed,
+        budget=budget,
+        start_nodes=start_nodes,
+        sharding=sharding,
     )
 
     embeddings = None

@@ -39,6 +39,8 @@ _GRID_SUGAR = {
     "num_walks": "walk.num_walks",
     "walk_length": "walk.walk_length",
     "backend": "walk.backend",
+    "shards": "sharding.shards",
+    "partitioner": "sharding.partitioner",
 }
 
 
@@ -259,7 +261,10 @@ def _run_with_updates(spec: RunSpec, graph, model):
         seed=spec.seed,
     )
     result = net.train_from_configs(
-        spec.walk_config(), spec.train or TrainConfig(), streaming=spec.streaming
+        spec.walk_config(),
+        spec.train or TrainConfig(),
+        streaming=spec.streaming,
+        sharding=spec.sharding,
     )
     upd = spec.updates
     rows = []
@@ -333,6 +338,7 @@ def run(
             seed=spec.seed,
             skip_learning=spec.train is None,
             streaming=spec.streaming,
+            sharding=spec.sharding,
         )
     metrics = _jsonable(_evaluate(spec, result, labels))
     if update_rows is not None:

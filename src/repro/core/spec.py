@@ -28,7 +28,7 @@ import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
-from repro.core.config import StreamingConfig, TrainConfig, WalkConfig
+from repro.core.config import ShardingConfig, StreamingConfig, TrainConfig, WalkConfig
 from repro.errors import SpecError
 
 #: Downstream evaluation protocols runnable from a spec.
@@ -274,9 +274,12 @@ class RunSpec:
     stops after walk generation (the setting of the paper's walk-phase
     tables); ``evaluation`` requires ``train`` and a labeled graph. A
     ``streaming`` block runs the bounded-memory shard-streaming pipeline
-    (see :class:`~repro.core.config.StreamingConfig`); a ``serving``
-    block stands up the query-side read path after training (see
-    :class:`ServingSpec`).
+    (see :class:`~repro.core.config.StreamingConfig`); a ``sharding``
+    block generates the walks on the partitioned
+    :class:`~repro.sharding.engine.ShardedWalkEngine` (see
+    :class:`~repro.core.config.ShardingConfig`) — results are bitwise
+    identical, only the execution changes; a ``serving`` block stands up
+    the query-side read path after training (see :class:`ServingSpec`).
     """
 
     graph: GraphSpec = field(default_factory=GraphSpec)
@@ -286,6 +289,7 @@ class RunSpec:
     train: TrainConfig | None = field(default_factory=TrainConfig)
     evaluation: EvalSpec | None = None
     streaming: StreamingConfig | None = None
+    sharding: ShardingConfig | None = None
     serving: ServingSpec | None = None
     updates: UpdatesSpec | None = None
     seed: int = 0
@@ -336,6 +340,18 @@ class RunSpec:
                     f"{entry.name!r}; declared: {sorted(param_spec)}"
                 )
         self.graph.validate()
+        if (
+            self.streaming is not None
+            and self.streaming.enabled
+            and self.sharding is not None
+            and self.sharding.enabled
+            and self.train is not None
+        ):
+            raise SpecError(
+                "streaming and sharding blocks cannot both be enabled: the "
+                "sharded engine has no shard-stream generator; disable one "
+                "(e.g. --set streaming.enabled=false)"
+            )
         if self.evaluation is not None:
             self.evaluation.validate()
             if self.train is None:
@@ -372,6 +388,7 @@ class RunSpec:
             "train": None if self.train is None else asdict(self.train),
             "evaluation": None if self.evaluation is None else asdict(self.evaluation),
             "streaming": None if self.streaming is None else asdict(self.streaming),
+            "sharding": None if self.sharding is None else asdict(self.sharding),
             "serving": None if self.serving is None else asdict(self.serving),
             "updates": None if self.updates is None else asdict(self.updates),
         }
@@ -423,6 +440,12 @@ class RunSpec:
             if streaming_data is None
             else _dataclass_from_dict(StreamingConfig, streaming_data, "streaming config")
         )
+        sharding_data = data.get("sharding")
+        sharding = (
+            None
+            if sharding_data is None
+            else _dataclass_from_dict(ShardingConfig, sharding_data, "sharding config")
+        )
         serving_data = data.get("serving")
         serving = (
             None
@@ -443,6 +466,7 @@ class RunSpec:
             train=train,
             evaluation=evaluation,
             streaming=streaming,
+            sharding=sharding,
             serving=serving,
             updates=updates,
             seed=int(data.get("seed", 0)),

@@ -31,6 +31,25 @@ from repro.utils.rng import as_rng
 from repro.walks.models import make_model
 
 
+def _coerce_sharding(sharding, *, shards=None, partitioner=None):
+    """Normalise the facade's sharding sugar to a :class:`ShardingConfig`.
+
+    ``True`` means the defaults, a dict is expanded, ``shards=`` /
+    ``partitioner=`` build a config when no block was given explicitly.
+    """
+    from repro.core.config import ShardingConfig
+
+    if sharding is True:
+        return ShardingConfig()
+    if isinstance(sharding, dict):
+        return ShardingConfig(**sharding)
+    if sharding is None and shards is not None:
+        return ShardingConfig(
+            shards=shards, **({} if partitioner is None else {"partitioner": partitioner})
+        )
+    return sharding
+
+
 @dataclasses.dataclass
 class UpdateResult:
     """Outcome of one :meth:`UniNet.update` call."""
@@ -137,13 +156,18 @@ class UniNet:
             **overrides,
         )
 
-    def generate_walks(self, num_walks: int = 10, walk_length: int = 80, start_nodes=None, **overrides):
+    def generate_walks(
+        self, num_walks: int = 10, walk_length: int = 80, start_nodes=None, sharding=None, **overrides
+    ):
         """Run only the walk-generation step; returns a WalkCorpus.
 
         The engine observables of the run (Ti/Tw timings, sampler
         counters, resident bytes) are kept on :attr:`last_walk` /
         :attr:`last_stats`, so they are inspectable without a full
-        :meth:`train`.
+        :meth:`train`. ``sharding`` takes a
+        :class:`~repro.core.config.ShardingConfig` (or dict, or ``True``
+        for the defaults) to run the walks on the partitioned engine —
+        the corpus is bitwise identical either way.
         """
         config = self.walk_config(num_walks, walk_length, **overrides)
         result = generate_walk_result(
@@ -153,6 +177,7 @@ class UniNet:
             seed=int(self._rng.integers(2**31)),
             budget=self.budget,
             start_nodes=start_nodes,
+            sharding=_coerce_sharding(sharding),
         )
         # keep only the small observables: the engine's chains/tables and
         # the corpus itself must not stay pinned after the caller is done
@@ -173,6 +198,9 @@ class UniNet:
         start_nodes=None,
         walk_overrides: dict | None = None,
         streaming=None,
+        sharding=None,
+        shards: int | None = None,
+        partitioner: str | None = None,
         **train_params,
     ) -> TrainResult:
         """Full pipeline: walks + word2vec. Returns a TrainResult.
@@ -182,7 +210,13 @@ class UniNet:
         :class:`WalkConfig`. ``streaming`` takes a
         :class:`~repro.core.config.StreamingConfig` (or dict, or ``True``
         for the defaults) to run the bounded-memory shard-streaming
-        pipeline instead of materializing the whole corpus.
+        pipeline instead of materializing the whole corpus. ``sharding``
+        takes a :class:`~repro.core.config.ShardingConfig` (or dict, or
+        ``True``) to generate the walks on the partitioned engine;
+        ``shards=`` / ``partitioner=`` are shorthand for the common case
+        (``net.train(shards=4, partitioner="degree_balanced")``). Either
+        way the corpus — and so the embeddings — is bitwise identical to
+        the monolithic run.
         """
         walk_cfg = self.walk_config(num_walks, walk_length, **(walk_overrides or {}))
         train_cfg = TrainConfig(dimensions=dimensions, **train_params)
@@ -190,12 +224,19 @@ class UniNet:
             from repro.core.config import StreamingConfig
 
             streaming = StreamingConfig()
+        sharding = _coerce_sharding(sharding, shards=shards, partitioner=partitioner)
         return self.train_from_configs(
-            walk_cfg, train_cfg, streaming=streaming, start_nodes=start_nodes
+            walk_cfg, train_cfg, streaming=streaming, sharding=sharding, start_nodes=start_nodes
         )
 
     def train_from_configs(
-        self, walk_config: WalkConfig, train_config: TrainConfig, *, streaming=None, start_nodes=None
+        self,
+        walk_config: WalkConfig,
+        train_config: TrainConfig,
+        *,
+        streaming=None,
+        sharding=None,
+        start_nodes=None,
     ) -> TrainResult:
         """Run the full pipeline from prebuilt config objects.
 
@@ -212,6 +253,7 @@ class UniNet:
             budget=self.budget,
             start_nodes=start_nodes,
             streaming=streaming,
+            sharding=sharding,
         )
         self.last_embeddings = result.embeddings
         self._trainer = result.trainer

@@ -55,6 +55,11 @@ class WalkError(ReproError):
     """Raised when walk generation is configured or driven incorrectly."""
 
 
+class ShardError(ReproError):
+    """Raised for invalid shard plans, partitioners, or sharded-engine
+    configuration (the sharded walk + serving subsystem)."""
+
+
 class VocabularyError(ReproError):
     """Raised for unknown tokens or empty vocabularies in embedding code."""
 

@@ -310,6 +310,49 @@ class CSRGraph:
 
         return apply_delta(self, delta)
 
+    def subgraph(self, node_ids) -> tuple["CSRGraph", np.ndarray, np.ndarray]:
+        """Vertex-induced subgraph with global↔local translation maps.
+
+        Keeps exactly the edge entries whose source *and* target both lie
+        in ``node_ids`` (duplicates are dropped, order is ignored). Local
+        node ``i`` corresponds to global node ``node_map[i]`` with
+        ``node_map`` sorted ascending, so the relabeling is monotone and
+        every row stays sorted — the binary-search invariant survives for
+        free. ``edge_map[j]`` is the global offset of local edge entry
+        ``j`` and is strictly increasing.
+
+        Returns ``(sub, node_map, edge_map)``. Weights and type arrays
+        are sliced along; ``num_node_types``/``num_edge_types`` are
+        inherited from this graph so type-conditioned samplers see the
+        same type universe on every shard.
+        """
+        node_map = np.unique(np.asarray(node_ids, dtype=np.int64))
+        if node_map.size and (node_map[0] < 0 or node_map[-1] >= self.num_nodes):
+            raise GraphError("subgraph node ids out of range")
+        member = np.zeros(self.num_nodes, dtype=bool)
+        member[node_map] = True
+        g2l = np.full(self.num_nodes, -1, dtype=np.int64)
+        g2l[node_map] = np.arange(node_map.size, dtype=np.int64)
+        deg = self.degrees()[node_map]
+        from repro.walks._segments import concat_ranges
+
+        flat, seg_ids = concat_ranges(self.offsets[node_map], deg)
+        keep = member[self.targets[flat]]
+        edge_map = flat[keep]
+        counts = np.bincount(seg_ids[keep], minlength=node_map.size)
+        offsets = np.zeros(node_map.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        sub = CSRGraph._from_trusted_arrays(
+            offsets,
+            np.ascontiguousarray(g2l[self.targets[edge_map]]),
+            None if self.weights is None else np.ascontiguousarray(self.weights[edge_map]),
+            None if self.node_types is None else np.ascontiguousarray(self.node_types[node_map]),
+            None if self.edge_types is None else np.ascontiguousarray(self.edge_types[edge_map]),
+            num_node_types=self.num_node_types,
+            num_edge_types=self.num_edge_types,
+        )
+        return sub, node_map, edge_map
+
     def with_node_types(self, node_types, edge_types=None) -> "CSRGraph":
         """Return a copy of this graph with type annotations attached."""
         return CSRGraph(

@@ -1,0 +1,214 @@
+"""Scatter-gather similarity queries over a :class:`ShardedEmbeddingStore`.
+
+:class:`ScatterGatherRouter` is the sharded drop-in for
+:class:`~repro.serving.service.QueryService.most_similar_batch`: it fans
+each batch of query vectors out to one index per shard, asks every shard
+for its local top-``topn+1``, and heap-merges the candidates by
+``(-score, monolithic row)`` — the exact comparison order the monolithic
+brute-force index sorts by — so with an exact per-shard index the merged
+result is *identical* to the monolithic answer, including tie-breaks and
+the self-key exclusion.
+
+Correctness of the fan-out width: every row in the monolithic top-``k``
+lives on some shard, and within that shard it outranks everything the
+shard did not return — so each shard's local top-``k`` jointly cover the
+monolithic top-``k`` for any partition of the rows.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.index import make_index
+from repro.serving.service import LRUCache
+from repro.sharding.store import ShardedEmbeddingStore
+
+
+class ScatterGatherRouter:
+    """Batched nearest-neighbour queries fanned across shard stores.
+
+    Parameters
+    ----------
+    store:
+        a :class:`ShardedEmbeddingStore` (or a monolithic
+        :class:`~repro.serving.store.EmbeddingStore` plus ``plan=`` to
+        split it here).
+    index:
+        registered index name built once per non-empty shard
+        (``"bruteforce"`` keeps exact monolithic parity; approximate
+        indexes trade that for speed exactly as they do monolithically).
+    cache_size:
+        LRU entries memoised per ``(key, topn)``; ``0`` disables caching.
+    index_params:
+        forwarded to each per-shard index factory.
+    """
+
+    def __init__(self, store, index="bruteforce", *, plan=None, cache_size: int = 4096, **index_params):
+        if not isinstance(store, ShardedEmbeddingStore):
+            if plan is None:
+                raise ServingError(
+                    "ScatterGatherRouter needs a ShardedEmbeddingStore, or a "
+                    "monolithic EmbeddingStore together with plan="
+                )
+            store = ShardedEmbeddingStore.from_store(store, plan)
+        self.store = store
+        self.index_name = index if isinstance(index, str) else getattr(index, "name", "custom")
+        self._index_params = dict(index_params)
+        # empty shards cannot host an index (IVF refuses an empty store)
+        # and contribute no candidates anyway
+        self.indexes = [
+            make_index(self.index_name, s, **index_params) if len(s) else None
+            for s in store.stores
+        ]
+        self.cache = LRUCache(cache_size) if cache_size else None
+        self.counters = {
+            "queries": 0,
+            "batches": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "fanouts": 0,
+            "refreshes": 0,
+            "seconds": 0.0,
+        }
+        self._counters_lock = threading.Lock()
+
+    def _bump(self, **deltas) -> None:
+        with self._counters_lock:
+            for name, delta in deltas.items():
+                self.counters[name] += delta
+
+    # ------------------------------------------------------------------
+    def _scatter(self, qvecs: np.ndarray, k: int):
+        """Per-shard local top-``k``, remapped to (monolithic row, score)."""
+        merged_rows, merged_scores = [], []
+        for j in range(self.store.num_shards):
+            if self.indexes[j] is None:
+                continue
+            rows, scores = self.indexes[j].topk(qvecs, k)
+            merged_rows.append(
+                np.where(rows >= 0, self.store.monolith_rows[j][np.maximum(rows, 0)], -1)
+            )
+            merged_scores.append(scores)
+            self._bump(fanouts=1)
+        if not merged_rows:
+            m = qvecs.shape[0]
+            return np.full((m, 0), -1, dtype=np.int64), np.full((m, 0), -np.inf, dtype=np.float32)
+        return np.concatenate(merged_rows, axis=1), np.concatenate(merged_scores, axis=1)
+
+    def _gather(self, own_row: int, rows: np.ndarray, scores: np.ndarray, topn: int):
+        """Merge one query's shard candidates into the monolithic top list.
+
+        ``heapq.merge``-equivalent done with one lexsort: candidates are
+        ordered by descending score, ties by ascending monolithic row —
+        matching ``_topk_rows``'s stable argsort over ascending columns —
+        then the monolithic ``_decode`` walk (skip missing, skip self,
+        stop at ``topn``) runs over that order.
+        """
+        order = np.lexsort((rows, -scores))
+        keys = self.store.keys_by_row
+        out = []
+        for pos in order:
+            row = int(rows[pos])
+            if row < 0 or row == own_row:
+                continue
+            out.append((int(keys[row]), float(scores[pos])))
+            if len(out) == topn:
+                break
+        return out
+
+    def most_similar_batch(self, keys, topn: int = 10) -> list[list[tuple[int, float]]]:
+        """Top-``topn`` neighbours (key, cosine) for each query key.
+
+        Semantics mirror :meth:`QueryService.most_similar_batch`: one
+        scatter answers all cache misses, duplicate keys share one fan-
+        out, and each query's own key is excluded from its result.
+        """
+        if topn < 1:
+            raise ServingError("topn must be >= 1")
+        start = time.perf_counter()
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        results: list = [None] * keys.size
+        miss_positions = []
+        if self.cache is None:
+            miss_positions = list(range(keys.size))
+        else:
+            for i, key in enumerate(keys):
+                hit = self.cache.get((int(key), topn))
+                if hit is None:
+                    miss_positions.append(i)
+                else:
+                    results[i] = list(hit)
+            self._bump(
+                cache_hits=keys.size - len(miss_positions),
+                cache_misses=len(miss_positions),
+            )
+        if miss_positions:
+            miss_keys = keys[miss_positions]
+            uniq_keys, inverse = np.unique(miss_keys, return_inverse=True)
+            own_rows = self.store.rows_for(uniq_keys)
+            qvecs = self.store.decode_monolith_rows(own_rows)
+            # one extra per shard so dropping the query itself still
+            # leaves topn — the same slack the monolithic service asks for
+            cand_rows, cand_scores = self._scatter(qvecs, topn + 1)
+            merged = [
+                self._gather(int(own_rows[i]), cand_rows[i], cand_scores[i], topn)
+                for i in range(uniq_keys.size)
+            ]
+            if self.cache is not None:
+                for key, result in zip(uniq_keys, merged):
+                    self.cache.put((int(key), topn), tuple(result))
+            for pos, j in zip(miss_positions, inverse):
+                results[pos] = list(merged[j])
+        self._bump(
+            queries=int(keys.size), batches=1, seconds=time.perf_counter() - start
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot shaped like ``QueryService.stats`` plus shard info."""
+        with self._counters_lock:
+            c = dict(self.counters)
+        seconds = c["seconds"]
+        c["qps"] = (c["queries"] / seconds) if seconds > 0 else 0.0
+        c["mean_batch_ms"] = (1000.0 * seconds / c["batches"]) if c["batches"] else 0.0
+        lookups = c["cache_hits"] + c["cache_misses"]
+        c["cache_hit_rate"] = (c["cache_hits"] / lookups) if lookups else 0.0
+        c["index"] = self.index_name
+        c["store_count"] = len(self.store)
+        c["store_dimensions"] = self.store.dimensions
+        c["codec"] = self.store.codec.name if self.store.codec is not None else "float32"
+        c["store_bytes"] = int(self.store.nbytes)
+        c["num_shards"] = self.store.num_shards
+        c["shard_counts"] = [int(n) for n in self.store.counts()]
+        return c
+
+    def reset_stats(self) -> None:
+        """Zero all counters (the cache is kept)."""
+        with self._counters_lock:
+            for key in self.counters:
+                self.counters[key] = 0.0 if key == "seconds" else 0
+
+
+def merge_shard_topk(per_shard, topn: int):
+    """K-way heap merge of per-shard ``[(row, score), ...]`` lists.
+
+    Each shard list must already be sorted by ``(-score, row)`` — the
+    order every shard index returns — and the merge preserves that order
+    globally, truncated to ``topn``. The streaming sibling of the
+    router's batched :meth:`~ScatterGatherRouter.most_similar_batch`
+    merge, for callers that gather shard replies incrementally.
+    """
+    merged = heapq.merge(
+        *[[(-score, row) for row, score in chunk] for chunk in per_shard]
+    )
+    return [(row, -neg) for neg, row in itertools.islice(merged, topn)]
+
+
+__all__ = ["ScatterGatherRouter", "merge_shard_topk"]

@@ -1,0 +1,165 @@
+"""Partition a monolithic :class:`EmbeddingStore` into per-shard stores.
+
+The serving half of the sharded subsystem: a trained embedding store is
+split row-wise by the same owner array that partitioned the graph, so
+each shard serves exactly the nodes it owned during the walk. Every
+per-shard store *shares the trained codec instance* — quantized stores
+split without re-fitting codebooks, and decoding a row on a shard
+reconstructs bit-identical bytes to decoding the same row monolithically.
+
+The split keeps the monolithic row order recoverable
+(:attr:`ShardedEmbeddingStore.monolith_rows`): the scatter-gather router
+merges per-shard top-k candidates by ``(-score, monolithic row)``, which
+is precisely the tie-break the monolithic brute-force index applies, so
+the merged answer is *exactly* the monolithic answer, not merely
+score-equivalent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ServingError, ShardError
+from repro.serving.store import EmbeddingStore
+
+
+class ShardedEmbeddingStore:
+    """A monolithic embedding store split row-wise across shards.
+
+    Build one with :meth:`from_store`; the constructor wires pre-split
+    pieces. Each shard holds a normal :class:`EmbeddingStore` (so every
+    registered index works per shard unchanged) plus the mapping from
+    its local rows back to monolithic rows.
+    """
+
+    def __init__(self, stores, monolith_rows, owner, keys_by_row):
+        if len(stores) != len(monolith_rows):
+            raise ShardError("one monolith-row map is needed per shard store")
+        self.stores: list[EmbeddingStore] = list(stores)
+        #: per shard: local row -> monolithic row (ascending).
+        self.monolith_rows: list[np.ndarray] = [
+            np.asarray(rows, dtype=np.int64) for rows in monolith_rows
+        ]
+        #: global node id -> owning shard (the walk plan's owner array).
+        self.owner = np.asarray(owner, dtype=np.int64)
+        #: monolithic row -> node key (the unsplit key column).
+        self.keys_by_row = np.asarray(keys_by_row, dtype=np.int64)
+        total = int(self.keys_by_row.size)
+        #: monolithic row -> (owning shard, local row within it).
+        self.row_shard = np.full(total, -1, dtype=np.int64)
+        self.row_local = np.full(total, -1, dtype=np.int64)
+        for j in range(len(self.stores)):
+            rows = self.monolith_rows[j]
+            self.row_shard[rows] = j
+            self.row_local[rows] = np.arange(rows.size, dtype=np.int64)
+        # key -> monolithic row, the same dense table the monolithic
+        # store builds lazily
+        table = np.full(int(self.keys_by_row.max(initial=-1)) + 1, -1, dtype=np.int64)
+        table[self.keys_by_row] = np.arange(total, dtype=np.int64)
+        self._row_of = table
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(cls, store: EmbeddingStore, plan) -> "ShardedEmbeddingStore":
+        """Split ``store`` by a :class:`ShardPlan` (or a raw owner array).
+
+        Rows keep their relative (monolithic) order inside each shard and
+        all shards share ``store``'s trained codec, so per-row decode is
+        bitwise identical before and after the split.
+        """
+        if hasattr(plan, "owner"):
+            owner = np.asarray(plan.owner, dtype=np.int64)
+            num_shards = int(plan.num_shards)
+        else:
+            owner = np.asarray(plan, dtype=np.int64)
+            if owner.ndim != 1 or owner.size == 0:
+                raise ShardError("owner must be a non-empty 1-d shard-id array")
+            num_shards = int(owner.max()) + 1
+        keys = np.asarray(store.keys)
+        if keys.size and (keys.min() < 0 or keys.max() >= owner.size):
+            raise ShardError(
+                f"store keys fall outside the owner array [0, {owner.size}); "
+                "the plan must come from the graph the embeddings were trained on"
+            )
+        codes = np.asarray(store.codes)
+        norms = np.asarray(store.norms)
+        key_owner = owner[keys]
+        stores, rows_per = [], []
+        for j in range(num_shards):
+            rows = np.flatnonzero(key_owner == j)
+            stores.append(
+                EmbeddingStore(
+                    keys[rows].copy(),
+                    codes=np.ascontiguousarray(codes[rows]),
+                    norms=norms[rows].copy(),
+                    codec=store.codec,
+                )
+            )
+            rows_per.append(rows)
+        return cls(stores, rows_per, owner, keys.copy())
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.stores)
+
+    @property
+    def dimensions(self) -> int:
+        return self.stores[0].dimensions if self.stores else 0
+
+    @property
+    def codec(self):
+        return self.stores[0].codec if self.stores else None
+
+    def __len__(self) -> int:
+        return int(self.keys_by_row.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Total data bytes across all shard stores."""
+        return sum(int(s.nbytes) for s in self.stores)
+
+    def counts(self) -> np.ndarray:
+        """Rows per shard (serving-side balance diagnostic)."""
+        return np.asarray([len(s) for s in self.stores], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def rows_for(self, keys) -> np.ndarray:
+        """Monolithic rows of ``keys``; unknown ids raise like the monolith."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        table = self._row_of
+        if table.size == 0:
+            rows = np.full(keys.shape, -1, dtype=np.int64)
+        else:
+            safe = np.clip(keys, 0, table.size - 1)
+            rows = np.where(keys == safe, table[safe], -1)
+        if np.any(rows < 0):
+            bad = int(keys[np.flatnonzero(rows < 0)[0]])
+            raise ServingError(f"key {bad} is not in the store")
+        return rows
+
+    def decode_monolith_rows(self, rows) -> np.ndarray:
+        """Float32 vectors of monolithic rows, gathered from their shards.
+
+        Bitwise identical to ``store.decode_rows(rows)`` on the unsplit
+        store: the codes are the same bytes and the codec is the same
+        trained instance.
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        out = np.empty((rows.size, self.dimensions), dtype=np.float32)
+        shard = self.row_shard[rows]
+        local = self.row_local[rows]
+        for j in range(self.num_shards):
+            mask = shard == j
+            if mask.any():
+                out[mask] = self.stores[j].decode_rows(local[mask])
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEmbeddingStore(shards={self.num_shards}, count={len(self)}, "
+            f"dimensions={self.dimensions})"
+        )
+
+
+__all__ = ["ShardedEmbeddingStore"]

@@ -1,0 +1,229 @@
+"""Driver-to-worker transports for the sharded walk engine.
+
+Two interchangeable implementations of the same op protocol (``call`` /
+``call_many`` / ``close``):
+
+* :class:`InlineTransport` — workers live in the driver process and ops
+  are direct method calls. Zero serialization; the reference used by the
+  bitwise-parity tests and the default for small graphs.
+* :class:`ProcessTransport` — one OS process per shard, ops shipped
+  over a ``multiprocessing.Pipe``. Each shard's local CSR is exported
+  once into ``multiprocessing.shared_memory`` segments (the PR-7 walk
+  transport) so the worker wraps zero-copy views instead of a pickled
+  copy; platforms without usable shared memory fall back to pickling
+  the local graph.
+
+``call_many`` is the fan-out primitive: the process transport sends all
+requests before collecting any reply, so per-shard work overlaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.sharding.worker import ShardWorker
+from repro.walks.parallel import (
+    _attach_shared_graph,
+    _export_shared_graph,
+    _release_segments,
+)
+
+#: op-protocol close sentinel (distinguishable from any (op, args) pair).
+_CLOSE = None
+
+
+def _build_worker(shard_arrays, graph, config) -> ShardWorker:
+    return ShardWorker(
+        shard_arrays["shard_id"],
+        shard_arrays["num_shards"],
+        graph,
+        shard_arrays["node_map"],
+        shard_arrays["edge_map"],
+        shard_arrays["global_to_local"],
+        shard_arrays["owned_local"],
+        shard_arrays["owner"],
+        config["model"],
+        config["model_params"],
+        config["sampler"],
+        config["options"],
+    )
+
+
+def _shard_arrays(shard, num_shards: int, owner: np.ndarray) -> dict:
+    return {
+        "shard_id": shard.shard_id,
+        "num_shards": num_shards,
+        "node_map": shard.node_map,
+        "edge_map": shard.edge_map,
+        "global_to_local": shard.global_to_local,
+        "owned_local": shard.owned_local,
+        "owner": owner,
+    }
+
+
+class InlineTransport:
+    """Workers in-process; ops are direct method calls."""
+
+    name = "inline"
+
+    def __init__(self, plan, model: str, model_params: dict, sampler: str, options: dict):
+        config = {
+            "model": model,
+            "model_params": model_params,
+            "sampler": sampler,
+            "options": options,
+        }
+        self.workers = [
+            _build_worker(_shard_arrays(shard, plan.num_shards, plan.owner), shard.graph, config)
+            for shard in plan.shards
+        ]
+
+    def call(self, shard_id: int, op: str, *args):
+        return getattr(self.workers[shard_id], op)(*args)
+
+    def call_many(self, calls):
+        """Run ``(shard_id, op, args)`` requests; returns results in order."""
+        return [self.call(shard_id, op, *args) for shard_id, op, args in calls]
+
+    def close(self):
+        for worker in self.workers:
+            worker.close()
+
+
+def _worker_main(conn, graph_payload, shard_arrays, config):
+    """Child-process loop: attach the shard graph, serve ops until close."""
+    segments = []
+    if graph_payload[0] == "shm":
+        __, specs, meta = graph_payload
+        graph, segments = _attach_shared_graph(specs, meta)
+    else:
+        graph = graph_payload[1]
+    worker = _build_worker(shard_arrays, graph, config)
+    try:
+        while True:
+            message = conn.recv()
+            if message is _CLOSE or message is None:
+                break
+            op, args = message
+            conn.send(getattr(worker, op)(*args))
+    except EOFError:
+        pass
+    finally:
+        _release_segments(segments, unlink=False)
+        conn.close()
+
+
+class ProcessTransport:
+    """One worker process per shard, shared-memory CSR transport."""
+
+    name = "process"
+
+    def __init__(self, plan, model: str, model_params: dict, sampler: str, options: dict):
+        import multiprocessing as mp
+
+        config = {
+            "model": model,
+            "model_params": model_params,
+            "sampler": sampler,
+            "options": options,
+        }
+        ctx = mp.get_context()
+        self._segments: list = []
+        self._pipes = []
+        self._procs = []
+        started = False
+        try:
+            for shard in plan.shards:
+                local_segments: list = []
+                try:
+                    payload = _export_shared_graph(local_segments, shard.graph)
+                    self._segments.extend(local_segments)
+                except (OSError, ImportError, ValueError):
+                    # no usable shared memory: ship the local graph itself
+                    _release_segments(local_segments, unlink=True)
+                    payload = ("pickle", shard.graph)
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        payload,
+                        _shard_arrays(shard, plan.num_shards, plan.owner),
+                        config,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._pipes.append(parent_conn)
+                self._procs.append(proc)
+            started = True
+        finally:
+            # unwind partially-started workers on any failure (including
+            # KeyboardInterrupt) without swallowing the exception
+            if not started:
+                self.close()
+
+    def _send(self, shard_id: int, op: str, args) -> None:
+        try:
+            self._pipes[shard_id].send((op, args))
+        except (OSError, BrokenPipeError) as err:
+            raise ShardError(f"shard worker {shard_id} is gone: {err}") from err
+
+    def _recv(self, shard_id: int):
+        try:
+            return self._pipes[shard_id].recv()
+        except (EOFError, OSError) as err:
+            raise ShardError(
+                f"shard worker {shard_id} died mid-operation (see its traceback)"
+            ) from err
+
+    def call(self, shard_id: int, op: str, *args):
+        self._send(shard_id, op, args)
+        return self._recv(shard_id)
+
+    def call_many(self, calls):
+        """Fan out: send every request before collecting any reply."""
+        calls = list(calls)
+        for shard_id, op, args in calls:
+            self._send(shard_id, op, args)
+        return [self._recv(shard_id) for shard_id, __, ___ in calls]
+
+    def close(self):
+        for pipe in self._pipes:
+            try:
+                pipe.send(_CLOSE)
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        self._pipes = []
+        self._procs = []
+        _release_segments(self._segments, unlink=True)
+        self._segments = []
+
+
+#: transport name -> class; the engine resolves its ``transport=`` knob here.
+TRANSPORTS = {
+    "inline": InlineTransport,
+    "process": ProcessTransport,
+}
+
+
+def make_transport(name, plan, model, model_params, sampler, options):
+    """Build the named transport; unknown names raise :class:`ShardError`."""
+    if not isinstance(name, str) or name.strip().lower() not in TRANSPORTS:
+        raise ShardError(
+            f"unknown shard transport {name!r}; available: {sorted(TRANSPORTS)}"
+        )
+    cls = TRANSPORTS[name.strip().lower()]
+    return cls(plan, model, model_params, sampler, options)

@@ -41,33 +41,77 @@ def segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return prefix[ends] - prefix[starts]
 
 
+def race_keys(values: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Exponential-race key per entry: ``-log1p(-u) / value`` (+inf at <= 0).
+
+    ``argmin`` of the keys within a segment is an exact categorical draw
+    ∝ ``values`` (the Exp(w) race construction). Each key is a pure
+    function of its own ``(value, u)`` pair — no prefix sums across
+    entries — so any contiguous slice of a wave's flat buffer yields the
+    same keys whether it is evaluated whole or split across workers.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    keys = np.full(values.shape, np.inf, dtype=np.float64)
+    pos = values > 0.0
+    keys[pos] = -np.log1p(-u[pos]) / values[pos]
+    return keys
+
+
+def segment_race_argmin(keys: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Within-segment argmin position of finite race keys per segment.
+
+    Returns -1 for empty segments and for segments whose keys are all
+    +inf (zero-mass rows). The reduction is per-segment only — entries
+    of one segment never affect another's winner.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    num_segments = lengths.size
+    out = np.full(num_segments, -1, dtype=np.int64)
+    if keys.size == 0 or num_segments == 0:
+        return out
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return out
+    # reduceat needs strictly valid start indices; restrict to nonempty rows
+    ne_starts = starts[nonempty]
+    mins = np.minimum.reduceat(keys, ne_starts)
+    seg_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
+    min_per_pos = np.empty(num_segments, dtype=np.float64)
+    min_per_pos[nonempty] = mins
+    hits = keys <= min_per_pos[seg_ids]
+    hit_pos = np.flatnonzero(hits)
+    hit_seg = seg_ids[hit_pos]
+    first_seg, first_idx = np.unique(hit_seg, return_index=True)
+    out[first_seg] = hit_pos[first_idx] - starts[first_seg]
+    # an all-inf segment trivially "hits" at its first entry; mask it out
+    winner = np.full(num_segments, np.inf, dtype=np.float64)
+    winner[nonempty] = mins
+    out[~np.isfinite(winner)] = -1
+    return out
+
+
 def segment_sample(values: np.ndarray, lengths: np.ndarray, rng) -> np.ndarray:
     """Exact categorical draw within each segment, ∝ ``values``.
 
     Returns the *within-segment* position of the draw per segment, or -1
     for segments whose values sum to zero (or that are empty). This is the
     vectorized direct sampler.
+
+    Exactly one uniform is consumed per flat entry (``values.size``
+    draws, independent of the weight values), and every entry's race key
+    is a pure function of its own (value, uniform) pair — the property
+    the sharded walk engine relies on to hand each shard a slice of one
+    driver-drawn uniform stream and still reproduce this function's
+    winners bitwise.
     """
     lengths = np.asarray(lengths, dtype=np.int64)
-    num_segments = lengths.size
-    out = np.full(num_segments, -1, dtype=np.int64)
+    out = np.full(lengths.size, -1, dtype=np.int64)
     if values.size == 0:
         return out
-    cdf = np.cumsum(values, dtype=np.float64)
-    ends = np.cumsum(lengths)
-    starts = ends - lengths
-    base = np.where(starts > 0, cdf[np.maximum(starts - 1, 0)], 0.0)
-    base[starts == 0] = 0.0
-    totals = cdf[np.maximum(ends - 1, 0)] - base
-    ok = (lengths > 0) & (totals > 0)
-    if not ok.any():
-        return out
-    targets = base[ok] + rng.random(int(ok.sum())) * totals[ok]
-    flat_pos = np.searchsorted(cdf, targets, side="right")
-    flat_pos = np.minimum(flat_pos, ends[ok] - 1)
-    flat_pos = np.maximum(flat_pos, starts[ok])
-    out[ok] = flat_pos - starts[ok]
-    return out
+    keys = race_keys(values, rng.random(values.size))
+    return segment_race_argmin(keys, lengths)
 
 
 def segment_argmax(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:

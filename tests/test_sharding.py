@@ -1,0 +1,510 @@
+"""Sharded walk + serving subsystem: partitioning, parity, scatter-gather.
+
+Covers the four layers of the sharding subsystem:
+
+* partitioner — owner/plan invariants for every registered partitioner,
+  plan validation, registry pluggability;
+* engine — the acceptance matrix: corpora bitwise identical to
+  :class:`VectorizedWalkEngine` for hash AND degree-balanced partitions
+  at 1/2/4 shards, across samplers, models (hetero included),
+  initializers and both transports, plus migration-counter sanity;
+* serving — :class:`ShardedEmbeddingStore` split invariants and
+  :class:`ScatterGatherRouter` exact top-k parity with the monolithic
+  :class:`QueryService` (tie-breaks and self-exclusion included);
+* wiring — ``ShardingConfig`` through the pipeline, ``UniNet``,
+  ``RunSpec`` round-trip/validation and the CLI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ShardingConfig, StreamingConfig, TrainConfig, WalkConfig
+from repro.core.pipeline import train_pipeline
+from repro.errors import ServingError, ShardError, SpecError, WalkError
+from repro.serving.service import QueryService
+from repro.serving.store import EmbeddingStore
+from repro.sharding import (
+    PARTITIONER_REGISTRY,
+    ScatterGatherRouter,
+    ShardedEmbeddingStore,
+    ShardedWalkEngine,
+    build_shard_plan,
+    make_partitioner,
+    make_transport,
+    register_partitioner,
+)
+from repro.sharding.router import merge_shard_topk
+from repro.walks.vectorized import VectorizedWalkEngine
+
+PARTITIONERS = ("hash", "degree_balanced")
+
+
+def _mono(graph, model, sampler="mh", *, seed, num_walks=2, walk_length=12, **kw):
+    engine = VectorizedWalkEngine(graph, model, sampler=sampler, seed=seed, **kw)
+    return engine.generate(num_walks, walk_length), engine
+
+
+def _sharded(graph, model, sampler="mh", *, seed, num_walks=2, walk_length=12, **kw):
+    engine = ShardedWalkEngine(graph, model, sampler=sampler, seed=seed, **kw)
+    return engine.generate(num_walks, walk_length), engine
+
+
+def assert_corpus_equal(a, b):
+    assert np.array_equal(a.walks, b.walks)
+    assert np.array_equal(a.lengths, b.lengths)
+
+
+# ---------------------------------------------------------------------------
+# partitioner / plan
+# ---------------------------------------------------------------------------
+
+
+class TestShardPlan:
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_plan_invariants(self, small_power_law_graph, partitioner):
+        g = small_power_law_graph
+        plan = build_shard_plan(g, 3, partitioner)
+        assert plan.num_shards == 3
+        assert plan.owner.shape == (g.num_nodes,)
+        assert plan.owner.min() >= 0 and plan.owner.max() < 3
+        # every node owned exactly once; counts partition nodes and edges
+        assert int(plan.node_counts.sum()) == g.num_nodes
+        assert int(plan.edge_counts.sum()) == g.num_edge_entries
+        sources = g.edge_sources()
+        assert plan.boundary_edges == int(
+            (plan.owner[sources] != plan.owner[g.targets]).sum()
+        )
+        assert plan.node_imbalance >= 1.0
+        assert plan.edge_imbalance >= 1.0
+        for shard in plan.shards:
+            # node_map ascending and g2l round-trips
+            assert np.all(np.diff(shard.node_map) > 0)
+            assert np.array_equal(
+                shard.global_to_local[shard.node_map],
+                np.arange(shard.node_map.size),
+            )
+            assert np.array_equal(
+                shard.owned_local, plan.owner[shard.node_map] == shard.shard_id
+            )
+            # owned rows are complete: local degree == global degree
+            owned_global = shard.node_map[shard.owned_local]
+            owned_local = shard.global_to_local[owned_global]
+            deg_global = g.offsets[owned_global + 1] - g.offsets[owned_global]
+            deg_local = (
+                shard.graph.offsets[owned_local + 1] - shard.graph.offsets[owned_local]
+            )
+            assert np.array_equal(deg_global, deg_local)
+
+    def test_degree_balanced_beats_hash_on_edges(self, small_power_law_graph):
+        hash_plan = build_shard_plan(small_power_law_graph, 4, "hash")
+        lpt_plan = build_shard_plan(small_power_law_graph, 4, "degree_balanced")
+        assert lpt_plan.edge_imbalance <= hash_plan.edge_imbalance
+
+    def test_plan_validation(self, tiny_weighted_graph):
+        with pytest.raises(ShardError):
+            build_shard_plan(tiny_weighted_graph, 0)
+        with pytest.raises(ShardError):
+            make_partitioner("no-such-partitioner")
+        with pytest.raises(ShardError):
+            make_transport("no-such-transport", None, "deepwalk", {}, "mh", {})
+
+        class BadShape:
+            def partition(self, graph, num_shards):
+                return np.zeros(graph.num_nodes + 1, dtype=np.int64)
+
+        with pytest.raises(ShardError, match="shape"):
+            build_shard_plan(tiny_weighted_graph, 2, BadShape())
+
+        class OutOfRange:
+            def partition(self, graph, num_shards):
+                return np.full(graph.num_nodes, num_shards, dtype=np.int64)
+
+        with pytest.raises(ShardError, match="outside"):
+            build_shard_plan(tiny_weighted_graph, 2, OutOfRange())
+
+    def test_custom_partitioner_registers_and_runs(self, small_unweighted_graph):
+        @register_partitioner("test-round-robin")
+        class RoundRobin:
+            name = "test-round-robin"
+
+            def partition(self, graph, num_shards):
+                return np.arange(graph.num_nodes, dtype=np.int64) % num_shards
+
+        try:
+            plan = build_shard_plan(small_unweighted_graph, 2, "test-round-robin")
+            assert plan.partitioner == "test-round-robin"
+            mono, __ = _mono(small_unweighted_graph, "deepwalk", seed=31)
+            shrd, __ = _sharded(
+                small_unweighted_graph,
+                "deepwalk",
+                seed=31,
+                num_shards=2,
+                partitioner="test-round-robin",
+            )
+            assert_corpus_equal(mono, shrd)
+        finally:
+            PARTITIONER_REGISTRY.unregister("test-round-robin")
+
+
+# ---------------------------------------------------------------------------
+# engine parity — the acceptance matrix
+# ---------------------------------------------------------------------------
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    def test_corpus_bitwise_identical(self, small_power_law_graph, partitioner, shards):
+        mono, me = _mono(small_power_law_graph, "node2vec", seed=123, p=0.5, q=2.0)
+        shrd, se = _sharded(
+            small_power_law_graph,
+            "node2vec",
+            seed=123,
+            num_shards=shards,
+            partitioner=partitioner,
+            p=0.5,
+            q=2.0,
+        )
+        assert_corpus_equal(mono, shrd)
+        ms, ss = me.stats(), se.stats()
+        for key in ("samples", "proposals", "accepts", "initializations"):
+            assert ms[key] == ss[key], key
+
+    @pytest.mark.parametrize(
+        "sampler", ("mh", "direct", "alias", "rejection", "knightking")
+    )
+    def test_sampler_parity_two_shards(self, small_power_law_graph, sampler):
+        mono, __ = _mono(small_power_law_graph, "node2vec", sampler, seed=77, p=2.0, q=0.5)
+        shrd, __ = _sharded(
+            small_power_law_graph, "node2vec", sampler, seed=77, num_shards=2, p=2.0, q=0.5
+        )
+        assert_corpus_equal(mono, shrd)
+
+    def test_alias_first_order_parity(self, small_power_law_graph):
+        mono, __ = _mono(small_power_law_graph, "deepwalk", "alias-first-order", seed=5)
+        shrd, __ = _sharded(
+            small_power_law_graph, "deepwalk", "alias-first-order", seed=5, num_shards=4
+        )
+        assert_corpus_equal(mono, shrd)
+
+    @pytest.mark.parametrize("initializer", ("random", "burn-in"))
+    def test_initializer_parity(self, small_unweighted_graph, initializer):
+        kw = {"initializer": initializer, "burn_in_iterations": 5}
+        mono, __ = _mono(small_unweighted_graph, "deepwalk", seed=19, **kw)
+        shrd, __ = _sharded(
+            small_unweighted_graph, "deepwalk", seed=19, num_shards=2, **kw
+        )
+        assert_corpus_equal(mono, shrd)
+
+    def test_hetero_model_parity(self, academic):
+        graph, __ = academic
+        mono, __m = _mono(
+            graph, "metapath2vec", "mh", seed=9, walk_length=9, metapath="APVPA"
+        )
+        shrd, __s = _sharded(
+            graph,
+            "metapath2vec",
+            "mh",
+            seed=9,
+            walk_length=9,
+            num_shards=3,
+            partitioner="degree_balanced",
+            metapath="APVPA",
+        )
+        assert_corpus_equal(mono, shrd)
+
+    def test_process_transport_parity(self, small_power_law_graph):
+        mono, __ = _mono(small_power_law_graph, "deepwalk", seed=42, walk_length=8)
+        with ShardedWalkEngine(
+            small_power_law_graph, "deepwalk", transport="process", num_shards=2, seed=42
+        ) as engine:
+            shrd = engine.generate(2, 8)
+        assert_corpus_equal(mono, shrd)
+
+    def test_start_nodes_subset_parity(self, small_power_law_graph):
+        starts = np.array([0, 7, 13, 250], dtype=np.int64)
+        me = VectorizedWalkEngine(small_power_law_graph, "deepwalk", seed=3)
+        se = ShardedWalkEngine(small_power_law_graph, "deepwalk", num_shards=2, seed=3)
+        assert_corpus_equal(
+            me.generate(3, 10, start_nodes=starts), se.generate(3, 10, start_nodes=starts)
+        )
+
+
+class TestEngineStats:
+    def test_migration_counters(self, small_power_law_graph):
+        __, engine = _sharded(small_power_law_graph, "deepwalk", seed=1, num_shards=2)
+        stats = engine.stats()
+        assert stats["num_shards"] == 2
+        assert stats["partitioner"] == "hash"
+        assert stats["boundary_edges"] > 0
+        assert stats["walker_steps"] > 0
+        assert stats["migrated_walkers"] > 0
+        assert stats["migration_batches"] >= stats["migration_rounds"] > 0
+        assert 0.0 < stats["migration_rate"] <= 1.0
+        assert stats["node_imbalance"] >= 1.0
+        assert engine.memory_bytes() > 0
+
+    def test_single_shard_never_migrates(self, small_power_law_graph):
+        __, engine = _sharded(small_power_law_graph, "deepwalk", seed=1, num_shards=1)
+        stats = engine.stats()
+        assert stats["migrated_walkers"] == 0
+        assert stats["migration_rate"] == 0.0
+        assert stats["boundary_edges"] == 0
+
+    def test_unsupported_options_raise(self, tiny_weighted_graph):
+        from repro.walks.models import make_model
+
+        bound = make_model("deepwalk", tiny_weighted_graph)
+        with pytest.raises(ShardError, match="registry name"):
+            ShardedWalkEngine(tiny_weighted_graph, bound)
+        with pytest.raises(ShardError, match="budget"):
+            ShardedWalkEngine(tiny_weighted_graph, "deepwalk", table_budget_bytes=1024)
+        with pytest.raises(ShardError, match="chain_store"):
+            ShardedWalkEngine(tiny_weighted_graph, "deepwalk", chain_store=object())
+        with pytest.raises(ShardError, match="sampler"):
+            ShardedWalkEngine(tiny_weighted_graph, "deepwalk", sampler="memory-aware")
+        with pytest.raises(ShardError, match="backend"):
+            ShardedWalkEngine(tiny_weighted_graph, "deepwalk", backend="numba")
+        with pytest.raises(ShardError, match="initializer"):
+            ShardedWalkEngine(tiny_weighted_graph, "deepwalk", initializer=object())
+
+
+# ---------------------------------------------------------------------------
+# sharded store + scatter-gather router
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def store_and_plan(small_power_law_graph):
+    rng = np.random.default_rng(17)
+    n = small_power_law_graph.num_nodes
+    vectors = rng.standard_normal((n, 24)).astype(np.float32)
+    store = EmbeddingStore(np.arange(n, dtype=np.int64), vectors=vectors)
+    plan = build_shard_plan(small_power_law_graph, 3, "hash")
+    return store, plan
+
+
+class TestShardedStore:
+    def test_split_invariants(self, store_and_plan):
+        store, plan = store_and_plan
+        sharded = ShardedEmbeddingStore.from_store(store, plan)
+        assert sharded.num_shards == plan.num_shards
+        assert len(sharded) == len(store)
+        assert int(sharded.counts().sum()) == len(store)
+        assert sharded.dimensions == store.dimensions
+        # decode through the shards is bitwise identical to the monolith
+        rows = np.arange(len(store), dtype=np.int64)
+        assert np.array_equal(
+            sharded.decode_monolith_rows(rows), store.decode_rows(rows)
+        )
+        assert np.array_equal(sharded.rows_for(store.keys), store.rows_for(store.keys))
+
+    def test_from_owner_array_and_errors(self, store_and_plan):
+        store, plan = store_and_plan
+        sharded = ShardedEmbeddingStore.from_store(store, plan.owner)
+        assert sharded.num_shards == plan.num_shards
+        with pytest.raises(ServingError, match="not in the store"):
+            sharded.rows_for([len(store) + 5])
+        with pytest.raises(ShardError, match="owner"):
+            ShardedEmbeddingStore.from_store(store, np.empty(0, dtype=np.int64))
+        with pytest.raises(ShardError, match="owner"):
+            # owner array shorter than the key space
+            ShardedEmbeddingStore.from_store(store, np.zeros(3, dtype=np.int64))
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    @pytest.mark.parametrize("topn", (1, 5, 10))
+    def test_exact_monolithic_parity(
+        self, small_power_law_graph, partitioner, shards, topn
+    ):
+        rng = np.random.default_rng(23)
+        n = small_power_law_graph.num_nodes
+        vectors = rng.standard_normal((n, 16)).astype(np.float32)
+        store = EmbeddingStore(np.arange(n, dtype=np.int64), vectors=vectors)
+        plan = build_shard_plan(small_power_law_graph, shards, partitioner)
+        service = QueryService(store, index="bruteforce", cache_size=0)
+        router = ScatterGatherRouter(store, plan=plan, cache_size=0)
+        keys = np.arange(0, n, 7, dtype=np.int64)
+        assert router.most_similar_batch(keys, topn=topn) == service.most_similar_batch(
+            keys, topn=topn
+        )
+
+    def test_cache_path_and_stats(self, store_and_plan):
+        store, plan = store_and_plan
+        router = ScatterGatherRouter(store, plan=plan, cache_size=64)
+        first = router.most_similar_batch([0, 1, 1], topn=5)
+        second = router.most_similar_batch([0, 1], topn=5)
+        assert second == first[:2]
+        stats = router.stats()
+        assert stats["cache_hits"] >= 2
+        assert stats["num_shards"] == plan.num_shards
+        assert sum(stats["shard_counts"]) == len(store)
+        assert stats["queries"] == 5
+        assert stats["fanouts"] > 0
+        router.reset_stats()
+        assert router.stats()["queries"] == 0
+        with pytest.raises(ServingError, match="topn"):
+            router.most_similar_batch([0], topn=0)
+
+    def test_router_needs_plan_for_monolithic_store(self, store_and_plan):
+        store, __ = store_and_plan
+        with pytest.raises(ServingError, match="plan"):
+            ScatterGatherRouter(store)
+
+    def test_router_accepts_presplit_store(self, store_and_plan):
+        store, plan = store_and_plan
+        sharded = ShardedEmbeddingStore.from_store(store, plan)
+        router = ScatterGatherRouter(sharded, cache_size=0)
+        service = QueryService(store, index="bruteforce", cache_size=0)
+        assert router.most_similar_batch([3, 5], topn=4) == service.most_similar_batch(
+            [3, 5], topn=4
+        )
+
+    def test_merge_shard_topk(self):
+        per_shard = [
+            [(0, 0.9), (2, 0.5)],
+            [(1, 0.9), (3, 0.7)],
+            [],
+        ]
+        # descending score, ties broken by ascending row, truncated to topn
+        assert merge_shard_topk(per_shard, 3) == [(0, 0.9), (1, 0.9), (3, 0.7)]
+
+
+# ---------------------------------------------------------------------------
+# wiring: config / pipeline / UniNet / spec / CLI
+# ---------------------------------------------------------------------------
+
+
+class TestShardingConfig:
+    def test_validation(self):
+        assert ShardingConfig().enabled
+        assert ShardingConfig(partitioner="degree-balanced").partitioner == "degree_balanced"
+        with pytest.raises(WalkError):
+            ShardingConfig(shards=0)
+        with pytest.raises(WalkError):
+            ShardingConfig(partitioner="no-such")
+        with pytest.raises(WalkError):
+            ShardingConfig(transport="carrier-pigeon")
+
+
+class TestWiring:
+    def test_pipeline_sharded_embeddings_bitwise(self, small_unweighted_graph):
+        walk = WalkConfig(num_walks=2, walk_length=10)
+        train = TrainConfig(dimensions=16, epochs=1)
+        mono = train_pipeline(small_unweighted_graph, "deepwalk", walk, train, seed=13)
+        shrd = train_pipeline(
+            small_unweighted_graph,
+            "deepwalk",
+            walk,
+            train,
+            seed=13,
+            sharding=ShardingConfig(shards=2),
+        )
+        assert np.array_equal(mono.embeddings.vectors, shrd.embeddings.vectors)
+        assert shrd.sampler_stats["num_shards"] == 2
+        assert "migration_rate" in shrd.sampler_stats
+
+    def test_pipeline_rejects_streaming_plus_sharding(self, small_unweighted_graph):
+        with pytest.raises(WalkError, match="streaming and sharding"):
+            train_pipeline(
+                small_unweighted_graph,
+                "deepwalk",
+                WalkConfig(num_walks=1, walk_length=5),
+                streaming=StreamingConfig(),
+                sharding=ShardingConfig(),
+                seed=1,
+            )
+
+    def test_uninet_shards_sugar(self, small_unweighted_graph):
+        from repro import UniNet
+
+        net1 = UniNet(small_unweighted_graph, model="node2vec", p=0.5, q=2.0, seed=7)
+        r1 = net1.train(num_walks=2, walk_length=10, dimensions=16)
+        net2 = UniNet(small_unweighted_graph, model="node2vec", p=0.5, q=2.0, seed=7)
+        r2 = net2.train(
+            num_walks=2,
+            walk_length=10,
+            dimensions=16,
+            shards=3,
+            partitioner="degree_balanced",
+        )
+        assert np.array_equal(r1.embeddings.vectors, r2.embeddings.vectors)
+        assert r2.sampler_stats["partitioner"] == "degree_balanced"
+
+    def test_uninet_generate_walks_sharding(self, small_unweighted_graph):
+        from repro import UniNet
+
+        net1 = UniNet(small_unweighted_graph, seed=7)
+        c1 = net1.generate_walks(2, 10)
+        net2 = UniNet(small_unweighted_graph, seed=7)
+        c2 = net2.generate_walks(2, 10, sharding={"shards": 2, "transport": "inline"})
+        assert np.array_equal(c1.walks, c2.walks)
+        assert net2.last_stats["migrated_walkers"] > 0
+
+    def test_runspec_roundtrip_and_conflict(self):
+        from repro import GraphSpec, RunSpec
+
+        spec = RunSpec(
+            graph=GraphSpec(dataset="blogcatalog", scale=0.05, seed=3),
+            sharding=ShardingConfig(shards=4, partitioner="degree_balanced"),
+        )
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.sharding == spec.sharding
+        graph = GraphSpec(dataset="blogcatalog", scale=0.05, seed=3)
+        bad = RunSpec(
+            graph=graph, sharding=ShardingConfig(), streaming=StreamingConfig()
+        )
+        with pytest.raises(SpecError, match="streaming and sharding"):
+            bad.validate()
+        # the master switch resolves the conflict without deleting a block
+        ok = RunSpec(
+            graph=graph,
+            sharding=ShardingConfig(),
+            streaming=StreamingConfig(enabled=False),
+        )
+        ok.validate()
+
+    def test_run_report_carries_shard_stats(self):
+        from repro import GraphSpec, RunSpec, run
+
+        report = run(
+            RunSpec(
+                graph=GraphSpec(dataset="blogcatalog", scale=0.05, seed=3),
+                walk=WalkConfig(num_walks=2, walk_length=10),
+                train=TrainConfig(dimensions=8),
+                sharding=ShardingConfig(shards=2),
+                seed=11,
+            ),
+            keep_embeddings=False,
+        )
+        assert report.sampler_stats["num_shards"] == 2
+        assert report.sampler_stats["migration_rate"] > 0
+
+    def test_cli_walk_and_train_shards(self, tmp_path, capsys):
+        from repro.cli import main
+
+        walks = tmp_path / "w.npz"
+        code = main(
+            [
+                "walk", "--dataset", "blogcatalog", "--scale", "0.05", "--seed", "3",
+                "--shards", "2", "--partitioner", "degree_balanced",
+                "--num-walks", "2", "--walk-length", "10", "--output", str(walks),
+            ]
+        )
+        assert code == 0
+        assert walks.exists()
+        out = capsys.readouterr().out
+        assert "2 shard(s) via degree_balanced" in out
+        vectors = tmp_path / "v.npz"
+        code = main(
+            [
+                "train", "--dataset", "blogcatalog", "--scale", "0.05", "--seed", "3",
+                "--shards", "2", "--num-walks", "2", "--walk-length", "10",
+                "--dimensions", "8", "--output", str(vectors),
+            ]
+        )
+        assert code == 0
+        assert vectors.exists()
+        assert "migration rate" in capsys.readouterr().out
