@@ -12,11 +12,14 @@ any throughput is reported:
 
 Results go to ``benchmarks/results/BENCH_shard.json`` (one run record
 per scale; re-runs at the same scale replace their record) and to the
-``shard_scaling`` table. The single-host workers share one process, so
-walks/sec is expected to stay near the monolithic line while the
-migration-rate and imbalance columns record the *distribution* costs a
-multi-host transport would pay — those are the scientific content here,
-not single-host speedups.
+``shard_scaling`` table. Inline rows share one process, so walks/sec is
+expected to stay near the monolithic line while the migration-rate and
+imbalance columns record the *distribution* costs a multi-host
+transport would pay. Socket rows then pay them for real: loopback
+``repro shard-worker`` processes driven over TCP, with the network
+budget — bytes each way, migration payload bytes, and bytes on the
+wire per migration round — recorded alongside throughput. Those
+columns, not single-host speedups, are the scientific content here.
 
 No pytest-benchmark dependency: the CI shard-smoke job runs this with
 plain pytest at toy scale (``BENCH_SHARD_SCALE=0.02``).
@@ -46,7 +49,7 @@ DIMENSIONS = 64
 SEED = 8
 
 
-def _walk_run(graph, num_shards, partitioner):
+def _walk_run(graph, num_shards, partitioner, transport="inline"):
     """Best-of-``SHARD_REPEATS`` sharded walk time; plan construction and
     worker setup stay outside the timed region (they are one-off costs the
     engine reports separately as ``setup_seconds``)."""
@@ -58,14 +61,17 @@ def _walk_run(graph, num_shards, partitioner):
             sampler="mh",
             num_shards=num_shards,
             partitioner=partitioner,
+            transport=transport,
             seed=SEED,
         )
-        corpus, seconds = timed(
-            engine.generate, num_walks=NUM_WALKS, walk_length=WALK_LENGTH
-        )
-        best = min(best, seconds)
-        stats = engine.stats()
-        del engine
+        try:
+            corpus, seconds = timed(
+                engine.generate, num_walks=NUM_WALKS, walk_length=WALK_LENGTH
+            )
+            best = min(best, seconds)
+            stats = engine.stats()
+        finally:
+            engine.close()
     return corpus, best, stats
 
 
@@ -145,6 +151,7 @@ def test_shard_scaling():
         entries.append({
             "num_shards": num_shards,
             "partitioner": "degree_balanced",
+            "transport": "inline",
             "walk_seconds": round(seconds, 4),
             "walks_per_sec": round(num_walks_total / seconds, 1),
             "query_qps": round(qps, 1),
@@ -158,10 +165,46 @@ def test_shard_scaling():
         })
         rows.append({
             "shards": num_shards,
+            "transport": "inline",
             "walks/s": round(num_walks_total / seconds, 1),
             "query QPS": round(qps, 1),
             "migration rate": f"{stats['migration_rate']:.3f}",
-            "edge imbalance": f"{stats['edge_imbalance']:.2f}",
+            "wire MB/round": "-",
+        })
+
+    # socket transport: the multi-host wire over loopback workers — same
+    # bits (asserted), plus the network budget a real deployment pays
+    for num_shards in SHARD_COUNTS[1:]:
+        corpus, seconds, stats = _walk_run(
+            graph, num_shards, "degree_balanced", transport="socket"
+        )
+        np.testing.assert_array_equal(ref.walks, corpus.walks)
+        np.testing.assert_array_equal(ref.lengths, corpus.lengths)
+        wire = stats["transport_stats"]
+        rounds = max(int(stats["migration_rounds"]), 1)
+        bytes_per_round = (wire["bytes_sent"] + wire["bytes_recv"]) / rounds
+        entries.append({
+            "num_shards": num_shards,
+            "partitioner": "degree_balanced",
+            "transport": "socket",
+            "walk_seconds": round(seconds, 4),
+            "walks_per_sec": round(num_walks_total / seconds, 1),
+            "migration_rate": round(stats["migration_rate"], 4),
+            "migrated_walkers": int(stats["migrated_walkers"]),
+            "migration_rounds": int(stats["migration_rounds"]),
+            "bytes_sent": int(wire["bytes_sent"]),
+            "bytes_recv": int(wire["bytes_recv"]),
+            "migration_payload_bytes": int(wire["migration_payload_bytes"]),
+            "bytes_per_migration_round": round(bytes_per_round, 1),
+            "identical_corpus": True,
+        })
+        rows.append({
+            "shards": num_shards,
+            "transport": "socket",
+            "walks/s": round(num_walks_total / seconds, 1),
+            "query QPS": "-",
+            "migration rate": f"{stats['migration_rate']:.3f}",
+            "wire MB/round": f"{bytes_per_round / 1e6:.2f}",
         })
 
     record = {
@@ -183,7 +226,7 @@ def test_shard_scaling():
     _record_bench_shard(record)
     record_table(
         "shard_scaling",
-        ["shards", "walks/s", "query QPS", "migration rate", "edge imbalance"],
+        ["shards", "transport", "walks/s", "query QPS", "migration rate", "wire MB/round"],
         rows,
         title=(f"Sharded walks + scatter-gather queries (degree_balanced, "
                f"deepwalk/mh, scale={SHARD_SCALE:g}): bitwise corpora, exact top-k"),
@@ -191,3 +234,8 @@ def test_shard_scaling():
     # migration cost grows with shard count; a single shard never migrates
     assert entries[0]["migration_rate"] == 0.0
     assert all(e["migration_rate"] > 0 for e in entries[1:])
+    # every socket row carried real payloads over the wire
+    socket_rows = [e for e in entries if e["transport"] == "socket"]
+    assert socket_rows and all(
+        e["bytes_sent"] > 0 and e["migration_payload_bytes"] > 0 for e in socket_rows
+    )

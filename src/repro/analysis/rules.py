@@ -344,6 +344,31 @@ _FORBIDDEN_RAISES = frozenset({
 
 _BROAD_EXCEPTS = frozenset({"Exception", "BaseException"})
 
+#: connection-layer modules: code speaking sockets/pipes, where except
+#: tuples historically accreted redundant ``ConnectionError`` subclasses
+#: (``except (OSError, BrokenPipeError)`` — the second member is dead).
+_CONNECTION_MODULES = (
+    "serving/server.py",
+    "serving/framing.py",
+    "sharding/transport.py",
+    "sharding/socket_worker.py",
+    "sharding/wire.py",
+)
+
+#: builtin exception -> its builtin base chain; enough of the OSError
+#: family to spot a subclass shadowed by its base in the same tuple.
+_BUILTIN_EXC_BASES = {
+    "BrokenPipeError": ("ConnectionError", "OSError"),
+    "ConnectionResetError": ("ConnectionError", "OSError"),
+    "ConnectionAbortedError": ("ConnectionError", "OSError"),
+    "ConnectionRefusedError": ("ConnectionError", "OSError"),
+    "ConnectionError": ("OSError",),
+    "TimeoutError": ("OSError",),
+    "InterruptedError": ("OSError",),
+    "IOError": ("OSError",),
+    "EnvironmentError": ("OSError",),
+}
+
 #: dunder -> builtins its *protocol* requires (``__getattr__`` must raise
 #: AttributeError for ``hasattr`` to work; these are not taxonomy leaks).
 _DUNDER_PROTOCOL_RAISES = {
@@ -439,6 +464,26 @@ class ErrorTaxonomyRule(LintRule):
             )
             return
         types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        if len(types) > 1 and relpath_matches(module.relpath, _CONNECTION_MODULES):
+            leaves = []
+            for t in types:
+                name = dotted_name(t)
+                leaves.append(None if name is None else module.resolve(name).split(".")[-1])
+            present = {leaf for leaf in leaves if leaf}
+            for leaf in leaves:
+                if leaf is None:
+                    continue
+                shadow = next(
+                    (b for b in _BUILTIN_EXC_BASES.get(leaf, ()) if b in present), None
+                )
+                if shadow is not None:
+                    yield self.finding(
+                        module, node,
+                        f"`except` tuple lists {leaf} alongside its base "
+                        f"class {shadow}; the subclass is dead weight — "
+                        "connection-layer handlers name each failure "
+                        "class exactly once",
+                    )
         for t in types:
             name = dotted_name(t)
             if name is None:

@@ -116,9 +116,17 @@ def _add_walk_args(parser):
         "degree_balanced (greedy LPT on out-degree)",
     )
     parser.add_argument(
-        "--shard-transport", choices=["inline", "process"], default="inline",
-        help="shard workers in-process (inline) or one OS process per shard "
-        "with the local CSR in shared memory (process)",
+        "--shard-transport", choices=["inline", "process", "socket"], default="inline",
+        help="shard workers in-process (inline), one OS process per shard "
+        "with the local CSR in shared memory (process), or TCP-connected "
+        "repro shard-worker processes (socket; loopback workers are "
+        "spawned unless --shard-hosts names standing ones)",
+    )
+    parser.add_argument(
+        "--shard-hosts", nargs="+", default=None, metavar="HOST:PORT",
+        help="socket transport: one repro shard-worker address per shard "
+        "(implies --shard-transport socket; --shards defaults to the "
+        "number of addresses)",
     )
     for pname, pspec in sorted(_cli_param_specs().items()):
         parser.add_argument(
@@ -173,14 +181,19 @@ def _cmd_stats(args) -> int:
 
 def _sharding_config(args):
     """Build a ShardingConfig from the ``--shards`` family of flags."""
-    if args.shards is None:
+    hosts = getattr(args, "shard_hosts", None)
+    if args.shards is None and hosts is None:
         return None
     from repro.core.config import ShardingConfig
 
+    transport = args.shard_transport
+    if hosts is not None:
+        transport = "socket"
     return ShardingConfig(
-        shards=args.shards,
+        shards=args.shards if args.shards is not None else len(hosts),
         partitioner=args.partitioner,
-        transport=args.shard_transport,
+        transport=transport,
+        hosts=tuple(hosts) if hosts is not None else None,
     )
 
 
@@ -441,6 +454,26 @@ def _cmd_serve(args) -> int:
         f"p50 {stats['p50_ms']:.2f}ms p99 {stats['p99_ms']:.2f}ms "
         f"{stats['qps']:.0f} qps]"
     )
+    return 0
+
+
+def _cmd_shard_worker(args) -> int:
+    from repro.errors import ReproError
+    from repro.sharding.socket_worker import serve_shard
+
+    def report(address):
+        # the launcher (a CI script, an operator's shell) scrapes this
+        # line for the bound port when --port 0 picked an ephemeral one
+        print(f"shard-worker listening on {address[0]}:{address[1]}", flush=True)
+
+    try:
+        serve_shard(args.host, args.port, sessions=args.sessions, on_ready=report)
+    except KeyboardInterrupt:
+        pass
+    except (OSError, ReproError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print("[shard-worker drained]")
     return 0
 
 
@@ -754,6 +787,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after answering this many requests (smoke tests / CI)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="serve one walk shard over TCP for a socket-transport driver "
+        "on another machine",
+    )
+    shard_worker.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (0.0.0.0 to accept remote drivers)",
+    )
+    shard_worker.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free one; the bound address is printed)",
+    )
+    shard_worker.add_argument(
+        "--sessions", type=int, default=1,
+        help="driver sessions to serve before exiting (each session is one "
+        "engine lifetime; raise it for a standing worker)",
+    )
+    shard_worker.set_defaults(func=_cmd_shard_worker)
 
     update = sub.add_parser(
         "update",

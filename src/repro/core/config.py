@@ -148,7 +148,7 @@ class StreamingConfig:
 
 
 #: Transports the sharded engine's ``transport=`` knob resolves.
-SHARD_TRANSPORTS = ("inline", "process")
+SHARD_TRANSPORTS = ("inline", "process", "socket")
 
 
 @dataclass
@@ -180,13 +180,27 @@ class ShardingConfig:
     transport:
         ``"inline"`` keeps workers in-process (zero serialization);
         ``"process"`` runs one OS process per shard with the local CSR
-        in shared memory.
+        in shared memory; ``"socket"`` drives ``repro shard-worker``
+        processes over TCP — the multi-host deployment (without
+        ``hosts`` it spawns loopback workers itself).
+    hosts:
+        socket transport only: one ``"host:port"`` worker address per
+        shard. ``None`` spawns loopback workers on this machine.
+    connect_timeout:
+        socket transport: seconds allowed per worker for the
+        retry-with-backoff connect loop.
+    call_timeout:
+        socket transport: seconds allowed per op round-trip before the
+        worker is declared hung (``None`` disables the deadline).
     """
 
     enabled: bool = True
     shards: int = 2
     partitioner: str = "hash"
     transport: str = "inline"
+    hosts: tuple | None = None
+    connect_timeout: float = 10.0
+    call_timeout: float | None = 120.0
 
     def __post_init__(self):
         from repro.errors import ReproError
@@ -206,6 +220,43 @@ class ShardingConfig:
                 f"sharding.transport must be one of {SHARD_TRANSPORTS}, "
                 f"got {self.transport!r}"
             )
+        if self.hosts is not None:
+            if self.transport != "socket":
+                raise WalkError(
+                    "sharding.hosts only applies to transport='socket', "
+                    f"got transport={self.transport!r}"
+                )
+            if isinstance(self.hosts, str) or not hasattr(self.hosts, "__len__"):
+                raise WalkError(
+                    "sharding.hosts must be a list of 'host:port' strings"
+                )
+            hosts = []
+            for entry in self.hosts:
+                if not isinstance(entry, str) or ":" not in entry:
+                    raise WalkError(
+                        f"sharding.hosts entries must be 'host:port' strings, "
+                        f"got {entry!r}"
+                    )
+                host, __, port = entry.rpartition(":")
+                if not host or not port.isdigit():
+                    raise WalkError(
+                        f"sharding.hosts entries must be 'host:port' strings, "
+                        f"got {entry!r}"
+                    )
+                hosts.append(entry)
+            if len(hosts) != self.shards:
+                raise WalkError(
+                    f"sharding.hosts lists {len(hosts)} address(es) for "
+                    f"{self.shards} shard(s); one worker per shard"
+                )
+            self.hosts = tuple(hosts)
+        self.connect_timeout = float(self.connect_timeout)
+        if self.connect_timeout <= 0:
+            raise WalkError("sharding.connect_timeout must be positive")
+        if self.call_timeout is not None:
+            self.call_timeout = float(self.call_timeout)
+            if self.call_timeout <= 0:
+                raise WalkError("sharding.call_timeout must be positive")
 
 
 @dataclass

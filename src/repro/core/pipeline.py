@@ -166,6 +166,9 @@ def _build_sharded_engine(graph, model, walk_config, sharding, *, budget=None, s
         num_shards=sharding.shards,
         partitioner=sharding.partitioner,
         transport=sharding.transport,
+        hosts=sharding.hosts,
+        connect_timeout=sharding.connect_timeout,
+        call_timeout=sharding.call_timeout,
         initializer=walk_config.initializer,
         init_sample_cap=walk_config.init_sample_cap,
         burn_in_iterations=walk_config.burn_in_iterations,

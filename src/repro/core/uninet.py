@@ -31,11 +31,14 @@ from repro.utils.rng import as_rng
 from repro.walks.models import make_model
 
 
-def _coerce_sharding(sharding, *, shards=None, partitioner=None):
+def _coerce_sharding(sharding, *, shards=None, partitioner=None, transport=None, hosts=None):
     """Normalise the facade's sharding sugar to a :class:`ShardingConfig`.
 
-    ``True`` means the defaults, a dict is expanded, ``shards=`` /
-    ``partitioner=`` build a config when no block was given explicitly.
+    ``True`` means the defaults, a dict is expanded, and the keyword
+    shorthands (``shards=`` / ``partitioner=`` / ``transport=`` /
+    ``hosts=``) build a config when no block was given explicitly —
+    any one of them enables sharding (``hosts`` sizes ``shards`` to
+    the address list when ``shards`` itself was not passed).
     """
     from repro.core.config import ShardingConfig
 
@@ -43,10 +46,21 @@ def _coerce_sharding(sharding, *, shards=None, partitioner=None):
         return ShardingConfig()
     if isinstance(sharding, dict):
         return ShardingConfig(**sharding)
-    if sharding is None and shards is not None:
-        return ShardingConfig(
-            shards=shards, **({} if partitioner is None else {"partitioner": partitioner})
-        )
+    if sharding is None and (
+        shards is not None or transport is not None or hosts is not None
+    ):
+        kwargs = {}
+        if hosts is not None:
+            kwargs["hosts"] = tuple(hosts)
+            kwargs["transport"] = "socket" if transport is None else transport
+            kwargs["shards"] = len(kwargs["hosts"]) if shards is None else shards
+        else:
+            kwargs["shards"] = 2 if shards is None else shards
+            if transport is not None:
+                kwargs["transport"] = transport
+        if partitioner is not None:
+            kwargs["partitioner"] = partitioner
+        return ShardingConfig(**kwargs)
     return sharding
 
 
@@ -201,6 +215,8 @@ class UniNet:
         sharding=None,
         shards: int | None = None,
         partitioner: str | None = None,
+        shard_transport: str | None = None,
+        shard_hosts=None,
         **train_params,
     ) -> TrainResult:
         """Full pipeline: walks + word2vec. Returns a TrainResult.
@@ -213,10 +229,14 @@ class UniNet:
         pipeline instead of materializing the whole corpus. ``sharding``
         takes a :class:`~repro.core.config.ShardingConfig` (or dict, or
         ``True``) to generate the walks on the partitioned engine;
-        ``shards=`` / ``partitioner=`` are shorthand for the common case
-        (``net.train(shards=4, partitioner="degree_balanced")``). Either
-        way the corpus — and so the embeddings — is bitwise identical to
-        the monolithic run.
+        ``shards=`` / ``partitioner=`` / ``shard_transport=`` /
+        ``shard_hosts=`` are shorthand for the common cases
+        (``net.train(shards=4, partitioner="degree_balanced")``;
+        ``net.train(shard_transport="socket")`` for the loopback
+        multi-process path; ``shard_hosts=["hostA:9101", "hostB:9101"]``
+        to drive standing ``repro shard-worker`` processes on other
+        machines). Either way the corpus — and so the embeddings — is
+        bitwise identical to the monolithic run.
         """
         walk_cfg = self.walk_config(num_walks, walk_length, **(walk_overrides or {}))
         train_cfg = TrainConfig(dimensions=dimensions, **train_params)
@@ -224,7 +244,13 @@ class UniNet:
             from repro.core.config import StreamingConfig
 
             streaming = StreamingConfig()
-        sharding = _coerce_sharding(sharding, shards=shards, partitioner=partitioner)
+        sharding = _coerce_sharding(
+            sharding,
+            shards=shards,
+            partitioner=partitioner,
+            transport=shard_transport,
+            hosts=shard_hosts,
+        )
         return self.train_from_configs(
             walk_cfg, train_cfg, streaming=streaming, sharding=sharding, start_nodes=start_nodes
         )

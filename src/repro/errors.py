@@ -57,7 +57,31 @@ class WalkError(ReproError):
 
 class ShardError(ReproError):
     """Raised for invalid shard plans, partitioners, or sharded-engine
-    configuration (the sharded walk + serving subsystem)."""
+    configuration (the sharded walk + serving subsystem), and for shard
+    transport failures — a worker process or remote shard host dying
+    mid-operation, or a transport being reused after such a failure."""
+
+
+class ShardTimeoutError(ShardError):
+    """Raised when a shard worker misses a transport deadline.
+
+    The socket transport bounds every operation (and the connect
+    handshake) with a timeout; a worker that does not answer in time is
+    indistinguishable from a hung host, so the driver raises this —
+    rather than blocking a whole walk wave forever — and marks the
+    transport broken.
+    """
+
+
+class FrameError(ReproError):
+    """Raised when a length-prefixed frame violates the wire discipline.
+
+    Covers short reads (the peer closed mid-frame), oversized frames
+    (a corrupt length prefix must not trigger a giant allocation) and
+    malformed frame payloads on the blocking-socket helpers shared by
+    the serving and sharding network code
+    (:mod:`repro.serving.framing`, :mod:`repro.sharding.wire`).
+    """
 
 
 class VocabularyError(ReproError):

@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import struct
 import time
 
 import numpy as np
@@ -51,14 +50,9 @@ from repro.errors import (
     ServerError,
     ServingError,
 )
+from repro.serving.framing import FRAME as _FRAME
+from repro.serving.framing import MAX_FRAME_BYTES
 from repro.serving.snapshot import SnapshotManager
-
-#: frame header: one unsigned 32-bit big-endian payload length.
-_FRAME = struct.Struct("!I")
-
-#: hard ceiling on one frame's payload — a corrupt length prefix must
-#: not make the server allocate gigabytes.
-MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 #: most keys one ``most_similar`` request may carry (batching happens
 #: server-side; a single huge request would defeat fair coalescing).
@@ -505,13 +499,13 @@ class QueryServer:
                     response = await self.submit(request)
                 writer.write(encode_frame(response))
                 await writer.drain()
-        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError, OSError):
+        except (asyncio.IncompleteReadError, OSError):
             pass  # client went away mid-frame; nothing to answer
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except OSError:
                 pass
 
     # ------------------------------------------------------------------
@@ -631,7 +625,7 @@ class QueryClient(_ClientOps):
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError, OSError):
+        except OSError:
             pass
 
 

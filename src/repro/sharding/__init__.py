@@ -22,8 +22,14 @@ from repro.sharding.partitioner import (
     register_partitioner,
 )
 from repro.sharding.router import ScatterGatherRouter
+from repro.sharding.socket_worker import serve_shard
 from repro.sharding.store import ShardedEmbeddingStore
-from repro.sharding.transport import InlineTransport, ProcessTransport, make_transport
+from repro.sharding.transport import (
+    InlineTransport,
+    ProcessTransport,
+    SocketTransport,
+    make_transport,
+)
 
 __all__ = [
     "PARTITIONER_REGISTRY",
@@ -31,6 +37,7 @@ __all__ = [
     "HashPartitioner",
     "InlineTransport",
     "ProcessTransport",
+    "SocketTransport",
     "ScatterGatherRouter",
     "Shard",
     "ShardPlan",
@@ -40,4 +47,5 @@ __all__ = [
     "make_partitioner",
     "make_transport",
     "register_partitioner",
+    "serve_shard",
 ]

@@ -82,6 +82,9 @@ class ShardedWalkEngine:
         budget=None,
         backend: str = "numpy",
         seed=None,
+        hosts=None,
+        connect_timeout: float = 10.0,
+        call_timeout: float | None = 120.0,
         **model_params,
     ):
         start = time.perf_counter()
@@ -136,10 +139,18 @@ class ShardedWalkEngine:
         self.max_reject_rounds = int(max_reject_rounds)
         self.plan = build_shard_plan(graph, num_shards, partitioner)
         self.num_shards = self.plan.num_shards
+        if hosts is not None and transport != "socket":
+            raise ShardError(
+                "worker host lists only apply to transport='socket'; "
+                f"transport is {transport!r}"
+            )
         options = {
             "initializer": self.strategy,
             "init_sample_cap": init_sample_cap,
             "burn_in_iterations": self.burn_in_iterations,
+            "hosts": list(hosts) if hosts is not None else None,
+            "connect_timeout": float(connect_timeout),
+            "call_timeout": call_timeout,
         }
         self.transport = make_transport(
             transport, self.plan, model, dict(model_params), self.sampler, options
@@ -477,6 +488,10 @@ class ShardedWalkEngine:
             ),
         }
         out.update(self.plan.stats())
+        out["transport"] = self.transport.name
+        transport_stats = getattr(self.transport, "transport_stats", None)
+        if transport_stats is not None:
+            out["transport_stats"] = transport_stats()
         return out
 
     def memory_bytes(self) -> int:

@@ -1,0 +1,147 @@
+"""The network-facing shard worker: ``repro shard-worker`` lives here.
+
+One process, one listening socket, one shard. The worker is started
+*empty* — it knows nothing about the graph until a driver connects and
+sends the ``SETUP`` bootstrap (shard arrays + local subgraph + sampler
+config), after which it is an ordinary :class:`~repro.sharding.worker.
+ShardWorker` driven by binary op frames instead of in-process method
+calls. That inversion is what makes multi-host deployment trivial: the
+only thing an operator provisions per machine is ``repro shard-worker
+--host 0.0.0.0 --port N`` — no dataset files, no shard assignment
+flags; the driver ships each worker exactly the slice it owns.
+
+Because workers are RNG-free by design (the driver draws every uniform
+and ships slices — see :mod:`repro.sharding.engine`), a socket worker
+computes bit-for-bit what an inline worker computes; the wire changes
+latency, never results.
+
+Session shape, mirroring the driver-side :class:`~repro.sharding.
+transport.SocketTransport`:
+
+* first frame must be ``SETUP`` (anything else is a protocol violation
+  and ends the session);
+* ``CALL`` frames dispatch ops on the worker; op failures answer with
+  a typed ``ERROR`` frame and the session continues — the driver
+  decides whether the run is salvageable;
+* ``PING`` answers ``PONG`` (the transport's liveness probe);
+* ``CLOSE`` answers ``BYE`` and ends the session (graceful drain);
+* EOF or a framing violation ends the session without reply — the
+  driver observes a short read and raises its typed error.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+from repro.errors import FrameError, ReproError
+from repro.serving.framing import MAX_BINARY_FRAME_BYTES, recv_frame, send_frame
+from repro.sharding import wire
+
+
+def _build_worker(setup):
+    """Materialise a ShardWorker from a driver's SETUP bootstrap."""
+    from repro.sharding.transport import _build_worker as build
+
+    shard_arrays, graph, config = setup
+    return build(shard_arrays, graph, config)
+
+
+def _serve_session(conn, *, max_bytes: int = MAX_BINARY_FRAME_BYTES) -> None:
+    """Run one driver session on an accepted connection until drain/EOF."""
+    worker = None
+    try:
+        while True:
+            payload = recv_frame(conn, max_bytes=max_bytes)
+            if payload is None:
+                return  # driver went away between frames
+            kind, body = wire.decode_message(payload)
+            if kind == wire.KIND_SETUP:
+                worker = _build_worker(body)
+                send_frame(conn, wire.encode_result(True), max_bytes=max_bytes)
+                continue
+            if kind == wire.KIND_PING:
+                send_frame(conn, wire.encode_simple(wire.KIND_PONG), max_bytes=max_bytes)
+                continue
+            if kind == wire.KIND_CLOSE:
+                send_frame(conn, wire.encode_simple(wire.KIND_BYE), max_bytes=max_bytes)
+                return
+            if kind != wire.KIND_CALL or worker is None:
+                # out-of-order or unknown traffic: the session is not
+                # recoverable, and an un-SETUP worker has no ops to run
+                return
+            op, args = body
+            try:
+                result = getattr(worker, op)(*args)
+            except (ReproError, AttributeError, TypeError, ValueError, KeyError, IndexError) as err:
+                reply = wire.encode_error(type(err).__name__, str(err))
+            else:
+                reply = wire.encode_result(result)
+            send_frame(conn, reply, max_bytes=max_bytes)
+    except (FrameError, OSError):
+        return  # driver died mid-frame; nothing left to answer
+    finally:
+        if worker is not None:
+            worker.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def serve_shard(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    sessions: int = 1,
+    on_ready=None,
+    max_bytes: int = MAX_BINARY_FRAME_BYTES,
+) -> tuple[str, int]:
+    """Listen on ``host:port`` and serve ``sessions`` driver sessions.
+
+    ``port=0`` binds an ephemeral port; the bound ``(host, port)`` is
+    passed to ``on_ready`` (and returned) so launchers — the loopback
+    transport, the CLI, CI scripts — can discover the address before
+    the first driver connects. Each session runs to its graceful drain
+    (or the driver's death); the listener then accepts the next one, so
+    a standing worker survives driver restarts when ``sessions > 1``.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, int(port)))
+        listener.listen(1)
+        address = listener.getsockname()[:2]
+        if on_ready is not None:
+            on_ready(address)
+        for __ in range(int(sessions)):
+            conn, __peer = listener.accept()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            _serve_session(conn, max_bytes=max_bytes)
+    finally:
+        try:
+            listener.close()
+        except OSError:
+            pass
+    return address
+
+
+def _loopback_worker_main(ready_conn, host: str) -> None:
+    """Child-process entry for driver-spawned loopback workers.
+
+    Binds an ephemeral port, reports it through the pipe, serves one
+    session, and exits hard — a loopback worker has no business
+    outliving its driver session, and ``os._exit`` avoids re-running
+    the parent's atexit machinery in the fork.
+    """
+    try:
+        def report(address):
+            ready_conn.send(address)
+            ready_conn.close()
+
+        serve_shard(host, 0, sessions=1, on_ready=report)
+    finally:
+        os._exit(0)
+
+
+__all__ = ["serve_shard"]

@@ -1,7 +1,7 @@
 """Driver-to-worker transports for the sharded walk engine.
 
-Two interchangeable implementations of the same op protocol (``call`` /
-``call_many`` / ``close``):
+Three interchangeable implementations of the same op protocol (``call``
+/ ``call_many`` / ``close``):
 
 * :class:`InlineTransport` — workers live in the driver process and ops
   are direct method calls. Zero serialization; the reference used by the
@@ -12,16 +12,42 @@ Two interchangeable implementations of the same op protocol (``call`` /
   transport) so the worker wraps zero-copy views instead of a pickled
   copy; platforms without usable shared memory fall back to pickling
   the local graph.
+* :class:`SocketTransport` — one TCP connection per shard to a
+  ``repro shard-worker`` process that may live on **another machine**.
+  Ops travel as length-prefixed binary frames (:mod:`repro.sharding.
+  wire`: array headers + raw bytes, no pickle on the hot path); the
+  driver connects with retry/backoff, bounds every call with a
+  timeout, probes liveness with ping frames and drains gracefully on
+  close. Given no host list it spawns loopback workers itself, so the
+  multi-process socket path runs end to end on one machine (the CI
+  shape).
 
 ``call_many`` is the fan-out primitive: the process transport sends all
-requests before collecting any reply, so per-shard work overlaps.
+requests before collecting any reply, and the socket transport runs
+each shard's request sequence on its own thread, so per-shard work
+overlaps.
+
+Failure discipline (shared by the out-of-process transports): any
+connection-layer failure — a worker death, a short read, a missed
+deadline — raises a typed :class:`~repro.errors.ShardError` (timeouts:
+:class:`~repro.errors.ShardTimeoutError`) *and marks the transport
+broken*. A broken transport refuses further calls instead of reading a
+survivor's stale reply against the wrong op; the caller builds a fresh
+engine. Remote *op* errors (the worker answered, typed) leave the
+connection in sync and the transport usable.
 """
 
 from __future__ import annotations
 
+import socket
+import time
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
-from repro.errors import ShardError
+from repro.errors import FrameError, ShardError, ShardTimeoutError
+from repro.serving.framing import MAX_BINARY_FRAME_BYTES, recv_frame, send_frame
+from repro.sharding import wire
 from repro.sharding.worker import ShardWorker
 from repro.walks.parallel import (
     _attach_shared_graph,
@@ -132,6 +158,8 @@ class ProcessTransport:
         self._segments: list = []
         self._pipes = []
         self._procs = []
+        self._broken = False
+        self._closed = False
         started = False
         try:
             for shard in plan.shards:
@@ -165,36 +193,60 @@ class ProcessTransport:
             if not started:
                 self.close()
 
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise ShardError("transport is closed; build a fresh engine")
+        if self._broken:
+            raise ShardError(
+                "transport is broken after a failed operation: surviving "
+                "workers may hold undelivered replies that would be matched "
+                "to the wrong op; build a fresh engine"
+            )
+
     def _send(self, shard_id: int, op: str, args) -> None:
         try:
             self._pipes[shard_id].send((op, args))
-        except (OSError, BrokenPipeError) as err:
+        except OSError as err:
+            self._broken = True
             raise ShardError(f"shard worker {shard_id} is gone: {err}") from err
 
     def _recv(self, shard_id: int):
         try:
             return self._pipes[shard_id].recv()
         except (EOFError, OSError) as err:
+            self._broken = True
             raise ShardError(
                 f"shard worker {shard_id} died mid-operation (see its traceback)"
             ) from err
 
     def call(self, shard_id: int, op: str, *args):
+        self._check_usable()
         self._send(shard_id, op, args)
         return self._recv(shard_id)
 
     def call_many(self, calls):
-        """Fan out: send every request before collecting any reply."""
+        """Fan out: send every request before collecting any reply.
+
+        A worker dying mid-round leaves the survivors' unread replies
+        queued in their pipes; ``_recv`` marks the transport broken
+        before raising, so no later call can consume one of those stale
+        replies against a different op.
+        """
+        self._check_usable()
         calls = list(calls)
         for shard_id, op, args in calls:
             self._send(shard_id, op, args)
         return [self._recv(shard_id) for shard_id, __, ___ in calls]
 
     def close(self):
+        """Shut down workers and release every OS resource; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         for pipe in self._pipes:
             try:
                 pipe.send(_CLOSE)
-            except (OSError, BrokenPipeError):
+            except OSError:
                 pass
         for proc in self._procs:
             proc.join(timeout=5)
@@ -206,16 +258,392 @@ class ProcessTransport:
                 pipe.close()
             except OSError:
                 pass
+        for proc in self._procs:
+            # release the process sentinel fd eagerly instead of waiting
+            # for GC — repeated engine builds must not accumulate fds
+            try:
+                proc.close()
+            except ValueError:
+                pass  # still alive after terminate; GC will reap it
         self._pipes = []
         self._procs = []
         _release_segments(self._segments, unlink=True)
         self._segments = []
 
 
+def _parse_host(entry) -> tuple[str, int]:
+    """Normalise one worker address: ``"host:port"`` or ``(host, port)``."""
+    if isinstance(entry, (tuple, list)) and len(entry) == 2:
+        return str(entry[0]), int(entry[1])
+    if isinstance(entry, str) and ":" in entry:
+        host, __, port = entry.rpartition(":")
+        try:
+            return host, int(port)
+        except ValueError:
+            raise ShardError(f"invalid worker port in {entry!r}") from None
+    raise ShardError(
+        f"invalid worker address {entry!r}; expected 'host:port' or a "
+        "(host, port) pair"
+    )
+
+
+class SocketTransport:
+    """One TCP connection per shard worker; workers may be remote.
+
+    With ``hosts`` (one ``host:port`` per shard) the transport connects
+    to standing ``repro shard-worker`` processes — the multi-host
+    deployment. Without, it spawns one loopback worker process per
+    shard and connects to those — the single-machine e2e path CI
+    exercises. Either way each worker is bootstrapped over the wire
+    with its shard's arrays, subgraph and sampler config (``SETUP``),
+    then driven by binary op frames.
+
+    Robustness knobs (``options``): ``connect_timeout`` bounds the
+    retry-with-backoff connect loop per worker, ``call_timeout`` bounds
+    every op round-trip (``None`` disables), ``heartbeat_timeout``
+    bounds the liveness probe. Every op's bytes and round-trip latency
+    are accounted per shard; :meth:`transport_stats` surfaces the
+    totals the benchmark's network-budget column records.
+    """
+
+    name = "socket"
+
+    def __init__(self, plan, model: str, model_params: dict, sampler: str, options: dict):
+        config = {
+            "model": model,
+            "model_params": model_params,
+            "sampler": sampler,
+            "options": options,
+        }
+        self.num_shards = plan.num_shards
+        self.connect_timeout = float(options.get("connect_timeout") or 10.0)
+        self.call_timeout = options.get("call_timeout", 120.0)
+        if self.call_timeout is not None:
+            self.call_timeout = float(self.call_timeout)
+        self.heartbeat_timeout = float(options.get("heartbeat_timeout") or 5.0)
+        self.max_frame_bytes = int(options.get("max_frame_bytes") or MAX_BINARY_FRAME_BYTES)
+        hosts = options.get("hosts")
+        self._socks: list = []
+        self._procs: list = []
+        self._pool: ThreadPoolExecutor | None = None
+        self._broken = False
+        self._closed = False
+        # per-shard accounting slots: each shard's socket is driven by at
+        # most one thread at a time, so slot writes never race
+        self._bytes_sent = np.zeros(self.num_shards, dtype=np.int64)
+        self._bytes_recv = np.zeros(self.num_shards, dtype=np.int64)
+        self._migration_payload_bytes = np.zeros(self.num_shards, dtype=np.int64)
+        self._op_calls: list[dict] = [dict() for __ in range(self.num_shards)]
+        started = False
+        try:
+            if hosts is None:
+                addresses = self._spawn_loopback()
+            else:
+                addresses = [_parse_host(entry) for entry in hosts]
+                if len(addresses) != self.num_shards:
+                    raise ShardError(
+                        f"sharding.hosts lists {len(addresses)} worker "
+                        f"address(es) but the plan has {self.num_shards} shard(s)"
+                    )
+            for shard_id, address in enumerate(addresses):
+                self._socks.append(self._connect(shard_id, address))
+            for shard_id, shard in enumerate(plan.shards):
+                payload = wire.encode_setup(
+                    (_shard_arrays(shard, plan.num_shards, plan.owner), shard.graph, config)
+                )
+                reply = self._roundtrip(shard_id, payload, "setup")
+                kind, body = wire.decode_message(reply)
+                if kind == wire.KIND_ERROR:
+                    raise ShardError(
+                        f"shard worker {shard_id} rejected its setup: "
+                        f"{body[0]}: {body[1]}"
+                    )
+                if kind != wire.KIND_RESULT or body is not True:
+                    raise ShardError(
+                        f"shard worker {shard_id} answered setup with "
+                        f"message kind {kind}; not a repro shard worker?"
+                    )
+            self.ping()  # liveness: every worker answers before the first op
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_shards, thread_name_prefix="shard-io"
+            )
+            started = True
+        finally:
+            if not started:
+                self.close()
+
+    # -- connection management -----------------------------------------
+    def _spawn_loopback(self) -> list[tuple[str, int]]:
+        """Start one local worker process per shard; returns addresses."""
+        import multiprocessing as mp
+
+        from repro.sharding.socket_worker import _loopback_worker_main
+
+        ctx = mp.get_context()
+        addresses = []
+        for __ in range(self.num_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_loopback_worker_main, args=(child_conn, "127.0.0.1"), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            try:
+                if not parent_conn.poll(self.connect_timeout):
+                    raise ShardError(
+                        "loopback shard worker did not report its address "
+                        f"within {self.connect_timeout:g}s"
+                    )
+                addresses.append(tuple(parent_conn.recv()))
+            except (EOFError, OSError) as err:
+                raise ShardError(
+                    f"loopback shard worker died before binding: {err}"
+                ) from err
+            finally:
+                parent_conn.close()
+        return addresses
+
+    def _connect(self, shard_id: int, address: tuple[str, int]):
+        """Dial one worker with retry + exponential backoff."""
+        deadline = time.monotonic() + self.connect_timeout
+        delay = 0.05
+        while True:
+            try:
+                sock = socket.create_connection(
+                    address, timeout=max(deadline - time.monotonic(), 0.001)
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                sock.settimeout(self.call_timeout)
+                return sock
+            except OSError as err:
+                if time.monotonic() + delay >= deadline:
+                    raise ShardError(
+                        f"cannot reach shard worker {shard_id} at "
+                        f"{address[0]}:{address[1]} within "
+                        f"{self.connect_timeout:g}s: {err}"
+                    ) from err
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise ShardError("transport is closed; build a fresh engine")
+        if self._broken:
+            raise ShardError(
+                "transport is broken after a failed operation: surviving "
+                "workers may hold undelivered replies that would be matched "
+                "to the wrong op; build a fresh engine"
+            )
+
+    def _roundtrip(self, shard_id: int, payload: bytes, op: str) -> bytearray:
+        """One framed request/reply on a shard's socket, fully accounted."""
+        sock = self._socks[shard_id]
+        start = time.perf_counter()
+        try:
+            sent = send_frame(sock, payload, max_bytes=self.max_frame_bytes)
+            self._bytes_sent[shard_id] += sent
+            reply = recv_frame(sock, max_bytes=self.max_frame_bytes)
+        except socket.timeout as err:
+            self._broken = True
+            raise ShardTimeoutError(
+                f"shard worker {shard_id} did not answer op {op!r} within "
+                f"{self.call_timeout:g}s"
+            ) from err
+        except (FrameError, OSError) as err:
+            self._broken = True
+            raise ShardError(
+                f"shard worker {shard_id} died mid-operation "
+                f"(op {op!r}): {err}"
+            ) from err
+        if reply is None:
+            self._broken = True
+            raise ShardError(
+                f"shard worker {shard_id} closed the connection instead of "
+                f"answering op {op!r}"
+            )
+        self._bytes_recv[shard_id] += len(reply) + 4
+        slot = self._op_calls[shard_id].setdefault(op, [0, 0.0])
+        slot[0] += 1
+        slot[1] += time.perf_counter() - start
+        return reply
+
+    # -- op protocol -----------------------------------------------------
+    def _call_raw(self, shard_id: int, op: str, args):
+        payload = wire.encode_call(op, args)
+        if op == "absorb":
+            self._migration_payload_bytes[shard_id] += len(payload)
+        reply = self._roundtrip(shard_id, payload, op)
+        try:
+            kind, body = wire.decode_message(reply)
+        except FrameError as err:
+            self._broken = True
+            raise ShardError(
+                f"shard worker {shard_id} sent a corrupt reply to op "
+                f"{op!r}: {err}"
+            ) from err
+        if kind == wire.KIND_ERROR:
+            # the worker answered: the connection is in sync and usable
+            raise ShardError(
+                f"shard worker {shard_id} failed op {op!r}: {body[0]}: {body[1]}"
+            )
+        if kind != wire.KIND_RESULT:
+            self._broken = True
+            raise ShardError(
+                f"shard worker {shard_id} answered op {op!r} with message "
+                f"kind {kind}"
+            )
+        return body
+
+    def call(self, shard_id: int, op: str, *args):
+        self._check_usable()
+        return self._call_raw(shard_id, op, args)
+
+    def call_many(self, calls):
+        """Fan out concurrently: one I/O thread per shard, order preserved.
+
+        Calls are grouped by shard (preserving each shard's request
+        order — migration rounds send several ``absorb`` batches to one
+        destination) and each group runs request-by-request on its own
+        thread. Every thread runs to completion before any error is
+        re-raised, so surviving connections are never abandoned with an
+        in-flight reply; a connection-layer failure marks the transport
+        broken all the same.
+        """
+        self._check_usable()
+        calls = list(calls)
+        groups: dict[int, list[int]] = {}
+        for position, (shard_id, __, ___) in enumerate(calls):
+            groups.setdefault(shard_id, []).append(position)
+
+        def run_group(positions):
+            return [
+                self._call_raw(calls[position][0], calls[position][1], calls[position][2])
+                for position in positions
+            ]
+
+        if len(groups) <= 1 or self._pool is None:
+            ordered = {
+                shard_id: run_group(positions) for shard_id, positions in groups.items()
+            }
+        else:
+            futures = {
+                shard_id: self._pool.submit(run_group, positions)
+                for shard_id, positions in groups.items()
+            }
+            ordered = {}
+            first_error = None
+            for shard_id, future in futures.items():
+                try:
+                    ordered[shard_id] = future.result()
+                except ShardError as err:
+                    if first_error is None:
+                        first_error = err
+            if first_error is not None:
+                raise first_error
+        results = [None] * len(calls)
+        for shard_id, positions in groups.items():
+            for position, result in zip(positions, ordered[shard_id]):
+                results[position] = result
+        return results
+
+    # -- liveness --------------------------------------------------------
+    def ping(self) -> list[float]:
+        """Heartbeat every worker; returns per-shard round-trip seconds.
+
+        A worker that does not answer ``PONG`` within
+        ``heartbeat_timeout`` raises :class:`~repro.errors.
+        ShardTimeoutError` (and a dead one :class:`~repro.errors.
+        ShardError`) — the cheap pre-flight that tells a dead fabric
+        from a slow one.
+        """
+        self._check_usable()
+        latencies = []
+        for shard_id, sock in enumerate(self._socks):
+            previous = sock.gettimeout()
+            sock.settimeout(self.heartbeat_timeout)
+            start = time.perf_counter()
+            try:
+                reply = self._roundtrip(
+                    shard_id, wire.encode_simple(wire.KIND_PING), "ping"
+                )
+            finally:
+                try:
+                    sock.settimeout(previous)
+                except OSError:
+                    pass
+            kind, __ = wire.decode_message(reply)
+            if kind != wire.KIND_PONG:
+                self._broken = True
+                raise ShardError(
+                    f"shard worker {shard_id} answered the heartbeat with "
+                    f"message kind {kind}"
+                )
+            latencies.append(time.perf_counter() - start)
+        return latencies
+
+    # -- observability ---------------------------------------------------
+    def transport_stats(self) -> dict:
+        """Wire-budget counters: bytes each way, payloads, per-op latency."""
+        per_op: dict = {}
+        for shard_ops in self._op_calls:
+            for op, (count, seconds) in shard_ops.items():
+                slot = per_op.setdefault(op, {"calls": 0, "seconds": 0.0})
+                slot["calls"] += count
+                slot["seconds"] += seconds
+        for slot in per_op.values():
+            slot["mean_ms"] = 1000.0 * slot["seconds"] / slot["calls"] if slot["calls"] else 0.0
+            slot["seconds"] = round(slot["seconds"], 6)
+            slot["mean_ms"] = round(slot["mean_ms"], 4)
+        return {
+            "bytes_sent": int(self._bytes_sent.sum()),
+            "bytes_recv": int(self._bytes_recv.sum()),
+            "migration_payload_bytes": int(self._migration_payload_bytes.sum()),
+            "op_latency": per_op,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self):
+        """Drain workers gracefully and release sockets/processes; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for shard_id, sock in enumerate(self._socks):
+            if not self._broken:
+                try:
+                    sock.settimeout(self.heartbeat_timeout)
+                    send_frame(
+                        sock, wire.encode_simple(wire.KIND_CLOSE),
+                        max_bytes=self.max_frame_bytes,
+                    )
+                    recv_frame(sock, max_bytes=self.max_frame_bytes)  # BYE
+                except (FrameError, OSError):
+                    pass  # the drain is best-effort; the socket closes anyway
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._socks = []
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+            try:
+                proc.close()
+            except ValueError:
+                pass
+        self._procs = []
+
+
 #: transport name -> class; the engine resolves its ``transport=`` knob here.
 TRANSPORTS = {
     "inline": InlineTransport,
     "process": ProcessTransport,
+    "socket": SocketTransport,
 }
 
 

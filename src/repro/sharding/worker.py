@@ -441,6 +441,19 @@ class ShardWorker:
             total += self.chains.memory_bytes()
         return total
 
+    def debug_exit(self, code: int = 17):
+        """Kill this worker's process immediately (fault-injection hook).
+
+        Only meaningful behind an out-of-process transport: the process
+        dies without replying, so the driver observes a closed pipe or
+        socket mid-round — exactly the failure the transports' broken-
+        state discipline exists for. ``os._exit`` skips all cleanup, as
+        a real crash would.
+        """
+        import os
+
+        os._exit(int(code))
+
     def close(self):
         """Release references (transport shutdown hook)."""
         self._mh = None

@@ -307,6 +307,34 @@ def test_rpr004_broad_excepts(tmp_path):
     assert sum(f.severity == "warn" for f in report.findings) == 1   # transport
 
 
+def test_rpr004_redundant_except_tuple_in_connection_modules(tmp_path):
+    # the subclass-shadowed-by-base tuple is the historical bug class of
+    # the connection layer (`except (OSError, BrokenPipeError)`) — flagged
+    # there, left alone everywhere else
+    source = """
+        def shutdown(sock):
+            try:
+                sock.close()
+            except (OSError, BrokenPipeError):
+                pass
+
+        def drain(sock):
+            try:
+                sock.close()
+            except (ConnectionResetError, TimeoutError):
+                pass  # distinct OSError leaves: no redundancy
+    """
+    report = lint(
+        tmp_path / "conn", {"sharding/transport.py": source}, select=["RPR004"]
+    )
+    assert len(report.findings) == 1
+    assert "BrokenPipeError alongside its base class OSError" in report.findings[0].message
+    assert report.findings[0].severity == "error"
+    # the same code outside the connection modules is not this rule's business
+    report = lint(tmp_path / "other", {"walks/stepper.py": source}, select=["RPR004"])
+    assert codes(report) == []
+
+
 def test_rpr004_dunder_protocol_exempt_and_suppression(tmp_path):
     report = lint(tmp_path, {"mod.py": """
         def __getattr__(name):

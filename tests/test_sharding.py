@@ -508,3 +508,186 @@ class TestWiring:
         assert code == 0
         assert vectors.exists()
         assert "migration rate" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# socket transport — multi-host execution, loopback for CI
+# ---------------------------------------------------------------------------
+
+
+class TestSocketTransport:
+    """The acceptance matrix over TCP: same bits, plus wire accounting."""
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    @pytest.mark.parametrize("shards", (2, 3))
+    @pytest.mark.parametrize(
+        "sampler", ("mh", "direct", "alias", "rejection", "knightking")
+    )
+    def test_every_sampler_partitioner_shardcount(
+        self, small_power_law_graph, sampler, partitioner, shards
+    ):
+        mono, __ = _mono(
+            small_power_law_graph, "node2vec", sampler, seed=31,
+            num_walks=1, walk_length=8, p=0.5, q=2.0,
+        )
+        shrd, engine = _sharded(
+            small_power_law_graph, "node2vec", sampler, seed=31,
+            num_walks=1, walk_length=8, num_shards=shards,
+            partitioner=partitioner, transport="socket", p=0.5, q=2.0,
+        )
+        engine.close()
+        assert_corpus_equal(mono, shrd)
+
+    def test_alias_first_order_parity(self, small_power_law_graph):
+        mono, __ = _mono(
+            small_power_law_graph, "deepwalk", "alias-first-order", seed=5,
+            num_walks=1, walk_length=8,
+        )
+        shrd, engine = _sharded(
+            small_power_law_graph, "deepwalk", "alias-first-order", seed=5,
+            num_walks=1, walk_length=8, num_shards=2, transport="socket",
+        )
+        engine.close()
+        assert_corpus_equal(mono, shrd)
+
+    def test_transport_stats_surface(self, small_power_law_graph):
+        __, engine = _sharded(
+            small_power_law_graph, "deepwalk", seed=2, num_walks=1,
+            walk_length=8, num_shards=2, transport="socket",
+        )
+        try:
+            stats = engine.stats()
+            assert stats["transport"] == "socket"
+            ts = stats["transport_stats"]
+            assert ts["bytes_sent"] > 0
+            assert ts["bytes_recv"] > 0
+            # walkers crossed shards, so migration payloads hit the wire
+            assert 0 < ts["migration_payload_bytes"] <= ts["bytes_sent"]
+            assert ts["op_latency"]["advance"]["calls"] > 0
+            assert ts["op_latency"]["advance"]["seconds"] >= 0.0
+            # liveness probe answers and reports a latency per shard
+            latencies = engine.transport.ping()
+            assert len(latencies) == 2 and all(lat > 0 for lat in latencies)
+        finally:
+            engine.close()
+        # inline engines advertise their transport too, without wire stats
+        __, inline_engine = _sharded(
+            small_power_law_graph, "deepwalk", seed=2, num_walks=1,
+            walk_length=8, num_shards=2,
+        )
+        stats = inline_engine.stats()
+        assert stats["transport"] == "inline"
+        assert "transport_stats" not in stats
+
+    def test_remote_op_error_keeps_transport_usable(self, small_power_law_graph):
+        """A typed worker-side failure is not a connection failure."""
+        __, engine = _sharded(
+            small_power_law_graph, "deepwalk", seed=2, num_walks=1,
+            walk_length=8, num_shards=2, transport="socket",
+        )
+        try:
+            with pytest.raises(ShardError, match="no_such_op"):
+                engine.transport.call(0, "no_such_op")
+            # the connection stayed in sync: further ops still answer
+            assert engine.transport.call(0, "memory_bytes") >= 0
+        finally:
+            engine.close()
+
+    def test_hosts_validation(self, small_power_law_graph):
+        with pytest.raises(ShardError, match="socket"):
+            ShardedWalkEngine(
+                small_power_law_graph, "deepwalk", num_shards=2,
+                transport="inline", hosts=["127.0.0.1:1"],
+            )
+        with pytest.raises(ShardError, match="2 shard"):
+            ShardedWalkEngine(
+                small_power_law_graph, "deepwalk", num_shards=2,
+                transport="socket", hosts=["127.0.0.1:1"], connect_timeout=0.2,
+            )
+
+    def test_sharding_config_socket_fields(self):
+        cfg = ShardingConfig(
+            shards=2, transport="socket", hosts=["a:9101", "b:9102"],
+            call_timeout=None,
+        )
+        assert cfg.hosts == ("a:9101", "b:9102")
+        assert cfg.call_timeout is None
+        # round-trips through the RunSpec dict form (tuples become lists)
+        from repro.core.spec import RunSpec, GraphSpec
+
+        spec = RunSpec(
+            graph=GraphSpec(dataset="blogcatalog", scale=0.05, seed=3),
+            sharding=cfg,
+        )
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.sharding == cfg
+        with pytest.raises(WalkError, match="socket"):
+            ShardingConfig(shards=1, transport="inline", hosts=["a:1"])
+        with pytest.raises(WalkError, match="host:port"):
+            ShardingConfig(shards=1, transport="socket", hosts=["nocolon"])
+        with pytest.raises(WalkError, match="one worker per shard"):
+            ShardingConfig(shards=3, transport="socket", hosts=["a:1", "b:2"])
+        with pytest.raises(WalkError, match="connect_timeout"):
+            ShardingConfig(transport="socket", connect_timeout=0)
+        with pytest.raises(WalkError, match="call_timeout"):
+            ShardingConfig(transport="socket", call_timeout=-1)
+
+    def test_uninet_socket_sugar(self, small_unweighted_graph):
+        from repro import UniNet
+
+        net1 = UniNet(small_unweighted_graph, seed=7)
+        r1 = net1.train(num_walks=1, walk_length=8, dimensions=8)
+        net2 = UniNet(small_unweighted_graph, seed=7)
+        r2 = net2.train(
+            num_walks=1, walk_length=8, dimensions=8, shard_transport="socket"
+        )
+        assert np.array_equal(r1.embeddings.vectors, r2.embeddings.vectors)
+        assert r2.sampler_stats["transport"] == "socket"
+        assert r2.sampler_stats["transport_stats"]["bytes_sent"] > 0
+
+    def test_cli_standing_workers_bitwise(self, tmp_path):
+        """The real multi-host shape: standing shard-worker processes."""
+        import os
+        import re
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ["src", env.get("PYTHONPATH", "")] if p
+        )
+        workers, hosts = [], []
+        try:
+            for __ in range(2):
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro", "shard-worker", "--port", "0"],
+                    stdout=subprocess.PIPE, text=True, env=env,
+                )
+                workers.append(proc)
+                match = re.search(
+                    r"listening on ([\d.]+):(\d+)", proc.stdout.readline()
+                )
+                assert match is not None
+                hosts.append(f"{match.group(1)}:{match.group(2)}")
+
+            from repro.cli import main
+
+            mono = tmp_path / "mono.npz"
+            sock = tmp_path / "sock.npz"
+            base = [
+                "walk", "--dataset", "blogcatalog", "--scale", "0.05",
+                "--seed", "4", "--num-walks", "1", "--walk-length", "8",
+            ]
+            assert main(base + ["--output", str(mono)]) == 0
+            assert main(base + ["--output", str(sock), "--shard-hosts", *hosts]) == 0
+            a, b = np.load(mono), np.load(sock)
+            assert np.array_equal(a["walks"], b["walks"])
+            assert np.array_equal(a["lengths"], b["lengths"])
+            for proc in workers:
+                assert proc.wait(timeout=15) == 0  # drained after one session
+        finally:
+            for proc in workers:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.stdout.close()
+                proc.wait()
